@@ -1,0 +1,64 @@
+"""E7 / Section 5.1 — compile-time cost of shift/next for star patterns.
+
+The paper bounds the computation of all (shift(j), next(j)) pairs by
+O(m^3): m failure graphs, each with O(m^2) nodes/arcs traversed once
+(reverse reachability), plus a linear walk for next.  This bench sweeps
+the pattern length and checks the empirical growth stays polynomial with
+exponent ~<= 3 (measured on the staircase family, whose graphs are dense
+in U entries — the worst case for reachability).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.bench.workloads import staircase_spec
+from repro.pattern.compiler import compile_pattern
+
+
+@pytest.mark.parametrize("alternations", [4, 8, 16])
+def test_compile_time(benchmark, alternations):
+    spec = staircase_spec(alternations)
+    plan = benchmark(lambda: compile_pattern(spec))
+    assert plan.m == alternations + 1
+    benchmark.extra_info["m"] = plan.m
+
+
+def test_cubic_growth_bound():
+    """Fit the growth exponent over a length sweep; demand it stays at or
+    below the paper's O(m^3) (with generous slack for small-m noise)."""
+    sizes = [4, 8, 16, 32]
+    timings = []
+    for alternations in sizes:
+        spec = staircase_spec(alternations)
+        best = math.inf
+        for _ in range(3):
+            start = time.perf_counter()
+            compile_pattern(spec)
+            best = min(best, time.perf_counter() - start)
+        timings.append(best)
+    rows = [
+        (a + 1, f"{t * 1000:.2f} ms")
+        for a, t in zip(sizes, timings)
+    ]
+    print()
+    print(format_table(["m", "compile time"], rows, title="shift/next compile scaling"))
+    # Exponent between the largest two points (most reliable).
+    exponent = math.log(timings[-1] / timings[-2]) / math.log(sizes[-1] / sizes[-2])
+    print(f"empirical exponent (m={sizes[-2]+1} -> {sizes[-1]+1}): {exponent:.2f}")
+    assert exponent < 4.0, "compile cost grew faster than the paper's O(m^3)"
+
+
+def test_compile_is_input_independent():
+    """The arrays depend only on the pattern — 'computed once as part of
+    the query compilation, then used repeatedly'."""
+    spec = staircase_spec(6)
+    first = compile_pattern(spec)
+    second = compile_pattern(spec)
+    assert first.shift_next == second.shift_next
+    assert first.theta == second.theta
+    assert first.phi == second.phi

@@ -1,0 +1,95 @@
+"""E4 / Section 7 + Figure 7 — the relaxed double-bottom on 25y of DJIA.
+
+The paper's headline experiment: Example 10 over 25 years of DJIA daily
+closes finds 12 matches, and OPS "executes 93 [times] faster than the
+naive execution".  This bench runs the same query over the synthetic DJIA
+substitute under three evaluators and reports the paper's metric
+(predicate-test counts).
+
+Shape expectations (see EXPERIMENTS.md for the full gap analysis):
+
+- all evaluators return the identical, small set of double bottoms
+  (the paper found 12; the calibrated synthetic series yields a count in
+  the same regime);
+- OPS beats the greedy naive baseline and runs close to the absolute
+  floor of one test per input tuple;
+- the paper's 93x is not reachable against a *greedy-commit* naive (that
+  baseline is itself near 2.4 tests/tuple, and no evaluator can go below
+  1/tuple); the backtracking baseline — the naive evaluation of the
+  declarative star semantics — pushes the gap wider, and the staircase
+  sweep (bench_complex_sweep) shows the two-orders-of-magnitude regime
+  the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import compare_matchers
+from repro.bench.report import format_table
+from repro.data.workloads import EXAMPLE_10
+
+
+def test_double_bottom_djia(benchmark, paper_catalog, domains):
+    runs = compare_matchers(
+        paper_catalog,
+        EXAMPLE_10,
+        matchers=("naive", "backtracking", "ops"),
+        domains=domains,
+    )
+
+    def run_ops():
+        return compare_matchers(
+            paper_catalog, EXAMPLE_10, matchers=("ops",), domains=domains
+        )["ops"]
+
+    ops = benchmark(run_ops)
+    naive = runs["naive"]
+    backtracking = runs["backtracking"]
+
+    n_days = len(paper_catalog.table("djia"))
+    rows = [
+        (
+            run.name,
+            run.predicate_tests,
+            run.predicate_tests / n_days,
+            run.matches,
+            ops.speedup_over(run),
+        )
+        for run in (naive, backtracking, ops)
+    ]
+    print()
+    print(
+        format_table(
+            ["evaluator", "predicate tests", "tests/day", "matches", "ops speedup vs"],
+            rows,
+            title=f"Relaxed double-bottom on synthetic DJIA ({n_days} days); paper: 12 matches, 93x",
+        )
+    )
+    benchmark.extra_info.update(
+        naive_tests=naive.predicate_tests,
+        backtracking_tests=backtracking.predicate_tests,
+        ops_tests=ops.predicate_tests,
+        matches=ops.matches,
+    )
+
+    # Shape assertions.
+    assert naive.matches == backtracking.matches == ops.matches
+    assert 5 <= ops.matches <= 25  # paper: 12
+    assert ops.predicate_tests < naive.predicate_tests
+    assert ops.predicate_tests < backtracking.predicate_tests
+    assert ops.predicate_tests < 1.8 * n_days  # near the 1 test/tuple floor
+
+
+def test_double_bottom_matches_are_plausible(paper_catalog, domains):
+    """Figure 7 sanity: each reported double bottom spans a real interval
+    and the pattern endpoints carry the expected prices/dates."""
+    from repro.engine.executor import Executor
+
+    result = Executor(paper_catalog, domains=domains).execute(EXAMPLE_10)
+    print()
+    print("Figure 7 — double bottoms found (pattern start/end):")
+    print(result.pretty(max_rows=None))
+    for start_date, start_price, end_date, end_price in result:
+        assert start_date < end_date
+        assert start_price > 0 and end_price > 0

@@ -1,0 +1,109 @@
+"""E1 / Figure 5 — naive vs OPS search-path curves on the paper's sequence.
+
+The paper plots the evolution of (i, j) for both algorithms on the input
+
+    55 50 45 57 54 50 47 49 45 42 55 57 59 60 57
+
+searched with the Example 4 pattern.  This bench regenerates both curves,
+prints them as the series the figure plots, and checks the figure's
+qualitative claims: the OPS path is shorter, and its backtracking
+episodes are less frequent and less deep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.data.workloads import FIGURE5_SEQUENCE
+from repro.match.base import Instrumentation
+from repro.match.naive import NaiveMatcher
+from repro.match.ops import OpsMatcher
+from repro.pattern.compiler import compile_pattern
+from repro.pattern.predicates import AttributeDomains, col, comparison, predicate
+from repro.pattern.spec import PatternElement, PatternSpec
+
+PRICE = col("price")
+PREV = PRICE.previous
+DOMAINS = AttributeDomains.prices()
+
+
+def example4_pattern():
+    p1 = predicate(comparison(PRICE, "<", PREV), domains=DOMAINS, label="p1")
+    p2 = predicate(
+        comparison(PRICE, "<", PREV),
+        comparison(40, "<", PRICE),
+        comparison(PRICE, "<", 50),
+        domains=DOMAINS,
+        label="p2",
+    )
+    p3 = predicate(
+        comparison(PRICE, ">", PREV), comparison(PRICE, "<", 52), domains=DOMAINS, label="p3"
+    )
+    p4 = predicate(comparison(PRICE, ">", PREV), domains=DOMAINS, label="p4")
+    return PatternSpec(
+        [PatternElement(n, p) for n, p in zip("YZTU", (p1, p2, p3, p4))]
+    )
+
+
+ROWS = [{"price": float(v)} for v in FIGURE5_SEQUENCE]
+
+
+def _trace(matcher):
+    inst = Instrumentation(record_trace=True)
+    matcher.find_matches(ROWS, compile_pattern(example4_pattern()), inst)
+    return inst
+
+
+def _backtracks(trace):
+    return [
+        previous - current
+        for (previous, _), (current, _) in zip(trace, trace[1:])
+        if current < previous
+    ]
+
+
+def test_figure5_series(benchmark):
+    """Regenerate the two path curves and the figure's claims."""
+    naive = _trace(NaiveMatcher())
+    ops = benchmark(lambda: _trace(OpsMatcher()))
+
+    from repro.bench.figures import render_path_curves
+
+    print()
+    print(render_path_curves(naive.trace, ops.trace))
+    print()
+    print("Figure 5 — search path curves (step, i, j):")
+    print(
+        format_table(
+            ["step", "naive (i,j)", "ops (i,j)"],
+            [
+                (
+                    step + 1,
+                    str(naive.trace[step]) if step < len(naive.trace) else "",
+                    str(ops.trace[step]) if step < len(ops.trace) else "",
+                )
+                for step in range(max(len(naive.trace), len(ops.trace)))
+            ],
+        )
+    )
+    print(
+        format_table(
+            ["metric", "naive", "ops"],
+            [
+                ("path length (tests)", naive.tests, ops.tests),
+                ("backtrack episodes", len(_backtracks(naive.trace)), len(_backtracks(ops.trace))),
+                ("backtrack depth", sum(_backtracks(naive.trace)), sum(_backtracks(ops.trace))),
+            ],
+            title="Figure 5 summary",
+        )
+    )
+    benchmark.extra_info["naive_tests"] = naive.tests
+    benchmark.extra_info["ops_tests"] = ops.tests
+
+    # Shape assertions: the figure's qualitative content.
+    assert ops.tests < naive.tests
+    assert len(_backtracks(ops.trace)) < len(_backtracks(naive.trace))
+    assert sum(_backtracks(ops.trace)) < sum(_backtracks(naive.trace))
+    # The sequence contains no complete occurrence of the pattern.
+    assert OpsMatcher().find_matches(ROWS, compile_pattern(example4_pattern())) == []

@@ -1,0 +1,108 @@
+"""E6 / Section 3 (Example 3) — constant-equality patterns, the KMP case.
+
+"The text searching algorithm by Knuth, Morris and Pratt provides a
+solution of proven optimality for this query."  For equality-with-constant
+patterns, OPS must recover KMP's behaviour: the compiled shift/next encode
+the same skips, the match sets agree with naive, and the test count stays
+within the KMP 2n bound while naive is quadratic on periodic data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import compare_on_rows
+from repro.bench.report import format_table
+from repro.bench.workloads import constant_pattern_spec
+from repro.pattern.compiler import compile_pattern
+
+
+def periodic_rows(n, period, spike_every=0):
+    """Prices cycling through `period`, the worst case for naive restart."""
+    values = []
+    for index in range(n):
+        values.append(float(period[index % len(period)]))
+    return [{"price": v} for v in values]
+
+
+def test_example3_pattern_on_quotes(benchmark, paper_catalog, domains):
+    """The literal Example 3 query via SQL (no exact hits on float data,
+    but the full pipeline must run and agree)."""
+    from repro.bench.harness import compare_matchers
+    from repro.data.workloads import EXAMPLE_3
+
+    runs = compare_matchers(
+        paper_catalog, EXAMPLE_3, matchers=("naive", "ops"), domains=domains
+    )
+    ops = benchmark(
+        lambda: compare_matchers(
+            paper_catalog, EXAMPLE_3, matchers=("ops",), domains=domains
+        )["ops"]
+    )
+    assert runs["naive"].matches == ops.matches
+    assert ops.predicate_tests <= runs["naive"].predicate_tests
+
+
+def test_periodic_worst_case(benchmark):
+    """Pattern 'a a a ... a b' over text 'a a a ...': naive is O(n*m),
+    OPS (=KMP here) is O(n)."""
+    m = 12
+    pattern = compile_pattern(constant_pattern_spec([10.0] * (m - 1) + [11.0]))
+    rows = periodic_rows(3000, [10.0])
+    naive = compare_on_rows(rows, pattern, ("naive",))["naive"]
+    ops = benchmark(
+        lambda: compare_on_rows(rows, pattern, ("ops",), require_identical=False)["ops"]
+    )
+    speedup = ops.speedup_over(naive)
+    print(
+        f"\nperiodic worst case (m={m}, n={len(rows)}): naive={naive.predicate_tests:,} "
+        f"ops={ops.predicate_tests:,} speedup={speedup:.1f}x"
+    )
+    benchmark.extra_info.update(
+        naive_tests=naive.predicate_tests, ops_tests=ops.predicate_tests
+    )
+    assert naive.matches == ops.matches == 0
+    assert ops.predicate_tests <= 2 * len(rows)  # the KMP bound
+    # Naive pays ~m per position; OPS (like KMP here) pays exactly 2 per
+    # position (fail as the last element, re-succeed as its predecessor),
+    # so the speedup is exactly m/2.
+    assert speedup >= m / 2
+
+
+def test_kmp_skip_structure():
+    """The compiled arrays for 'abcabcacab'-style constant patterns match
+    KMP's: where characters repeat, next points back into the pattern."""
+    values = [float(ord(c)) for c in "abcabcacab"]
+    pattern = compile_pattern(constant_pattern_spec(values))
+    rows_of = [
+        (j, pattern.shift(j), pattern.next(j)) for j in range(1, pattern.m + 1)
+    ]
+    print()
+    print(format_table(["j", "shift(j)", "next(j)"], rows_of, title="OPS arrays for 'abcabcacab'"))
+    # KMP next for this pattern: 0 1 1 0 1 1 0 5 0 1.  OPS expresses the
+    # same information through (shift, next) pairs; verify the two famous
+    # entries: a mismatch at j=8 resumes at pattern position 5 (next=5
+    # with shift 3), and mismatches at j=1,4,7,9 advance the input.
+    assert (pattern.shift(8), pattern.next(8)) == (3, 5)
+    for j in (1, 4, 7, 9):
+        assert pattern.next(j) == 0, j
+
+    # And the occurrence structure agrees with string search.
+    text = "babcbabcabcaabcabcabcacabc"
+    rows = [{"price": float(ord(c))} for c in text]
+    runs = compare_on_rows(rows, pattern, ("naive", "ops"))
+    assert runs["ops"].matches == 1
+
+
+@pytest.mark.parametrize("m", [4, 8, 16])
+def test_distinct_constants_scale(benchmark, m):
+    """All-distinct constants: mismatch at any j shifts the whole window;
+    both algorithms are ~n but OPS never retests."""
+    pattern = compile_pattern(constant_pattern_spec([float(i) for i in range(m)]))
+    rows = periodic_rows(2000, [1.0, 2.0, 3.0])
+    ops = benchmark(
+        lambda: compare_on_rows(rows, pattern, ("ops",), require_identical=False)["ops"]
+    )
+    naive = compare_on_rows(rows, pattern, ("naive",))["naive"]
+    assert ops.matches == naive.matches == 0
+    assert ops.predicate_tests <= naive.predicate_tests

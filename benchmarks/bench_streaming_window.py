@@ -1,0 +1,80 @@
+"""Extension bench — streaming OPS: bounded memory, batch-equal output.
+
+Not a paper table (the paper only gestures at the streaming deployment
+via user-defined aggregates); this bench documents the design claim in
+DESIGN.md: the OPS runtime never revisits input before the live attempt,
+so a stream needs O(attempt + look-back) buffered rows, not O(stream).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.data.random_walk import regime_switching_walk
+from repro.match.ops_star import OpsStarMatcher
+from repro.match.streaming import OpsStreamMatcher
+from repro.pattern.compiler import compile_pattern
+from repro.pattern.predicates import AttributeDomains, col, comparison, predicate
+from repro.pattern.spec import PatternElement, PatternSpec
+
+PRICE = col("price")
+PREV = PRICE.previous
+DOMAINS = AttributeDomains.prices()
+
+N = 20_000
+
+
+def watch_pattern():
+    anchor = predicate(domains=DOMAINS)
+    falling = predicate(comparison(PRICE, "<", 0.99 * PREV), domains=DOMAINS)
+    reversal = predicate(comparison(PRICE, ">", 1.015 * PREV), domains=DOMAINS)
+    return compile_pattern(
+        PatternSpec(
+            [
+                PatternElement("X", anchor),
+                PatternElement("D", falling, star=True),
+                PatternElement("R", reversal),
+            ]
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def feed():
+    return [
+        {"price": price}
+        for price in regime_switching_walk(N, turbulent_volatility=0.03, seed=77)
+    ]
+
+
+def test_streaming_window_bounded(benchmark, feed):
+    pattern = watch_pattern()
+
+    def run_stream():
+        matcher = OpsStreamMatcher(pattern)
+        peak = 0
+        for row in feed:
+            matcher.push(row)
+            peak = max(peak, matcher.buffered_rows)
+        matcher.finish()
+        return matcher.matches, peak
+
+    matches, peak = benchmark.pedantic(run_stream, rounds=3, iterations=1)
+    batch = OpsStarMatcher().find_matches(feed, pattern)
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("stream length", N),
+                ("matches (streaming)", len(matches)),
+                ("matches (batch)", len(batch)),
+                ("peak buffered rows", peak),
+            ],
+            title="Streaming OPS window",
+        )
+    )
+    benchmark.extra_info.update(peak_window=peak, matches=len(matches))
+    assert matches == batch
+    assert peak < 100  # bounded by the live attempt, not the 20k stream

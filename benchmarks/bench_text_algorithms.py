@@ -1,0 +1,99 @@
+"""E9 / Section 8 — KMP vs Boyer–Moore vs Karp–Rabin on plain text.
+
+"Although there is evidence that KMP provides better performance on the
+average than other algorithms, those by Karp&Rabin and Boyer&Moore could
+offer some advantage in special situations."  This bench measures
+character comparisons for the four matchers on three text regimes and
+checks the folklore the paper cites:
+
+- on periodic, small-alphabet text KMP beats naive soundly;
+- on random large-alphabet text Boyer–Moore is sublinear (its special
+  situation);
+- Karp–Rabin's comparisons collapse to verification-only.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.match.text import (
+    TextStats,
+    boyer_moore_search,
+    karp_rabin_search,
+    kmp_search,
+    naive_search,
+)
+
+ALGORITHMS = {
+    "naive": naive_search,
+    "kmp": kmp_search,
+    "boyer-moore": boyer_moore_search,
+    "karp-rabin": karp_rabin_search,
+}
+
+
+def _workloads():
+    rng = random.Random(12)
+    random_text = "".join(rng.choice("abcdefghijklmnopqrstuvwxyz") for _ in range(20000))
+    return {
+        "periodic": ("ab" * 10000 + "aa", "ab" * 8 + "aa"),
+        "random-26": (random_text, "qzjxkvbw"),
+        "dna-like": (
+            "".join(rng.choice("acgt") for _ in range(20000)),
+            "acgtacgtac",
+        ),
+    }
+
+
+def _counts(text, pattern):
+    results = {}
+    occurrence_counts = set()
+    for name, algorithm in ALGORITHMS.items():
+        stats = TextStats()
+        found = algorithm(text, pattern, stats)
+        occurrence_counts.add(len(found))
+        results[name] = stats
+    assert len(occurrence_counts) == 1, "algorithms disagree on occurrences"
+    return results
+
+
+@pytest.mark.parametrize("workload", ["periodic", "random-26", "dna-like"])
+def test_text_comparison(benchmark, workload):
+    text, pattern = _workloads()[workload]
+    counts = _counts(text, pattern)
+
+    def run_kmp():
+        stats = TextStats()
+        kmp_search(text, pattern, stats)
+        return stats
+
+    benchmark(run_kmp)
+    rows = [
+        (name, stats.comparisons, stats.hash_operations)
+        for name, stats in counts.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["algorithm", "char comparisons", "hash ops"],
+            rows,
+            title=f"{workload} (n={len(text)}, m={len(pattern)})",
+        )
+    )
+    benchmark.extra_info.update(
+        {name: stats.comparisons for name, stats in counts.items()}
+    )
+
+    # Shape claims.
+    if workload == "periodic":
+        assert counts["kmp"].comparisons < counts["naive"].comparisons
+        assert counts["kmp"].comparisons <= 2 * len(text)
+    if workload == "random-26":
+        # Boyer–Moore's special situation: sublinear scanning.
+        assert counts["boyer-moore"].comparisons < 0.5 * len(text)
+        assert counts["boyer-moore"].comparisons < counts["kmp"].comparisons
+    # Karp–Rabin compares characters only to verify hash hits.
+    assert counts["karp-rabin"].comparisons <= counts["naive"].comparisons

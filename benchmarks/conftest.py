@@ -1,0 +1,24 @@
+"""Shared benchmark fixtures: paper catalogs and domains."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.djia import djia_table
+from repro.data.quotes import quote_table
+from repro.engine.catalog import Catalog
+from repro.pattern.predicates import AttributeDomains
+
+
+@pytest.fixture(scope="session")
+def domains():
+    return AttributeDomains.prices()
+
+
+@pytest.fixture(scope="session")
+def paper_catalog():
+    """quote (8 tickers x 500 days) and the 25-year synthetic DJIA."""
+    catalog = Catalog()
+    catalog.register(quote_table(days=500, seed=7))
+    catalog.register(djia_table())
+    return catalog

@@ -1,0 +1,88 @@
+"""A multi-pattern stock screener built on SQL-TS.
+
+The application the paper's introduction motivates: scan a universe of
+stocks for several technical patterns at once — V-shaped recoveries,
+sustained rallies, and spike-and-crash events — each expressed as one
+declarative SQL-TS query and executed with the OPS optimizer.
+
+Note the SQL-TS idiom for "depth" conditions on starred runs: conditions
+are evaluated per tuple (the paper's running semantics), so a constraint
+on where a falling run *bottomed out* is written on the turn-day element
+that follows the run, via ``T.previous`` — exactly how the paper's
+Example 2 reads off the end of a falling period.
+
+Run:  python examples/stock_screener.py
+"""
+
+from repro import AttributeDomains, Catalog, Executor, Instrumentation
+from repro.bench.report import format_table
+from repro.data import quote_table
+
+SCREENS = {
+    "V-shaped recovery (>=5% down-leg, full retrace)": """
+        SELECT X.name, X.date AS leg_start, T.previous.date AS bottom,
+               R.previous.date AS recovered
+        FROM quote
+          CLUSTER BY name
+          SEQUENCE BY date
+          AS (X, *D, T, *U, R)
+        WHERE D.price < D.previous.price
+          AND T.price > T.previous.price
+          AND T.previous.price < 0.95 * X.price
+          AND U.price > U.previous.price
+          AND R.previous.price > X.price
+    """,
+    "Five-day rally (each day higher, +6% total)": """
+        SELECT X.name, A.date AS day1, E.date AS day5, E.price
+        FROM quote
+          CLUSTER BY name
+          SEQUENCE BY date
+          AS (X, A, B, C, D, E)
+        WHERE A.price > X.price
+          AND B.price > A.price
+          AND C.price > B.price
+          AND D.price > C.price
+          AND E.price > D.price
+          AND E.price > 1.06 * X.price
+    """,
+    "Spike and crash (+3% day, -3% within two days)": """
+        SELECT X.name, Y.date AS spike_day, Y.price AS peak
+        FROM quote
+          CLUSTER BY name
+          SEQUENCE BY date
+          AS (X, Y, Z, W)
+        WHERE Y.price > 1.03 * X.price
+          AND W.price < 0.97 * Y.price
+    """,
+}
+
+
+def main() -> None:
+    catalog = Catalog([quote_table(days=750, seed=11)])
+    executor = Executor(catalog, domains=AttributeDomains.prices())
+    universe = {row["name"] for row in catalog.table("quote")}
+    print(f"Screening {len(universe)} tickers x 750 trading days\n")
+
+    summary = []
+    for title, query in SCREENS.items():
+        instrumentation = Instrumentation()
+        result, report = executor.execute_with_report(query, instrumentation)
+        summary.append((title, report.matches, instrumentation.tests))
+        print(f"== {title} ==")
+        if result:
+            print(result.pretty(max_rows=8))
+        else:
+            print("(no hits)")
+        print()
+
+    print(
+        format_table(
+            ["screen", "hits", "predicate tests"],
+            summary,
+            title="Screener summary",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

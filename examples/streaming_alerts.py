@@ -1,0 +1,71 @@
+"""Live pattern alerts over a price stream with bounded memory.
+
+Uses :class:`~repro.match.streaming.OpsStreamMatcher` — the incremental
+OPS runtime — to watch a simulated tick-by-tick price feed and fire an
+alert the moment a pattern completes, while keeping only a small
+look-back window (the paper's "user-defined aggregates on input streams"
+deployment, made truly streaming).
+
+Run:  python examples/streaming_alerts.py
+"""
+
+from repro import AttributeDomains, compile_pattern
+from repro.data.random_walk import regime_switching_walk
+from repro.match.streaming import OpsStreamMatcher
+from repro.pattern.predicates import col, comparison, predicate
+from repro.pattern.spec import PatternElement, PatternSpec
+
+PRICE = col("price")
+PREV = PRICE.previous
+DOMAINS = AttributeDomains.prices()
+
+
+def capitulation_bounce_pattern() -> PatternSpec:
+    """Two or more >1% down days, then a >1.5% reversal day."""
+    falling = predicate(
+        comparison(PRICE, "<", 0.99 * PREV), domains=DOMAINS, label="down>1%"
+    )
+    reversal = predicate(
+        comparison(PRICE, ">", 1.015 * PREV), domains=DOMAINS, label="up>1.5%"
+    )
+    return PatternSpec(
+        [
+            PatternElement("X", predicate(domains=DOMAINS)),  # anchor day
+            PatternElement("D", falling, star=True),
+            PatternElement("R", reversal),
+        ]
+    )
+
+
+def main() -> None:
+    pattern = compile_pattern(capitulation_bounce_pattern())
+    matcher = OpsStreamMatcher(pattern)
+
+    feed = regime_switching_walk(
+        4000, start=100.0, turbulent_volatility=0.03, seed=77
+    )
+    print("Watching a 4000-tick feed for capitulation-bounce setups...\n")
+
+    alerts = 0
+    peak_window = 0
+    for tick, price in enumerate(feed):
+        completed = matcher.push({"price": price})
+        peak_window = max(peak_window, matcher.buffered_rows)
+        for match in completed:
+            alerts += 1
+            down_days = match.span_of("D").length
+            print(
+                f"tick {tick:5d}: ALERT — {down_days} consecutive >1% down "
+                f"days then a >1.5% bounce to {price:.2f} "
+                f"(setup started at tick {match.start})"
+            )
+    matcher.finish()
+
+    print(
+        f"\n{alerts} alerts on 4000 ticks; peak look-back window: "
+        f"{peak_window} rows (bounded by the live attempt, not the stream)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the `wheel` package, so
+PEP 660 editable installs fail; this setup.py lets `pip install -e .`
+take the legacy `setup.py develop` path. All metadata lives here (the
+offline pip/setuptools combination cannot combine [project] metadata
+with a legacy editable install).
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "SQL-TS and the OPS generalized-KMP sequence-query optimizer "
+        "(Sadri & Zaniolo, PODS 2001)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,91 @@
+"""repro — SQL-TS and the OPS sequence-query optimizer.
+
+A from-scratch reproduction of *Optimization of Sequence Queries in
+Database Systems* (Sadri, Zaniolo, Zarkesh, Adibi — PODS 2001): the
+SQL-TS language for sequential pattern queries over sorted relations, and
+the Optimized Pattern Search (OPS) algorithm, a generalization of
+Knuth–Morris–Pratt to patterns of arbitrary predicates, including
+repeating (starred) elements.
+
+Quickstart::
+
+    from repro import Catalog, Executor, AttributeDomains
+    from repro.data import quote_table
+
+    catalog = Catalog()
+    catalog.register(quote_table())
+    executor = Executor(catalog, domains=AttributeDomains.prices())
+    result = executor.execute('''
+        SELECT X.name, X.date AS spike_day
+        FROM quote
+          CLUSTER BY name
+          SEQUENCE BY date
+          AS (X, Y, Z)
+        WHERE Y.price > 1.15 * X.price
+          AND Z.price < 0.80 * Y.price
+    ''')
+    print(result.pretty())
+
+Layers (each usable on its own):
+
+- :mod:`repro.sqlts`       — the SQL-TS parser and semantic analyzer;
+- :mod:`repro.pattern`     — patterns, theta/phi analysis, shift/next;
+- :mod:`repro.constraints` — the GSW implication/satisfiability solver;
+- :mod:`repro.match`       — naive / backtracking / KMP / OPS runtimes;
+- :mod:`repro.engine`      — tables, clustering, UDAs, the executor;
+- :mod:`repro.data`        — deterministic synthetic datasets;
+- :mod:`repro.bench`       — the experiment harness.
+"""
+
+from repro.engine.catalog import Catalog
+from repro.engine.executor import ExecutionReport, Executor, execute
+from repro.engine.result import Result
+from repro.engine.session import Session
+from repro.engine.table import Column, Schema, Table
+from repro.errors import (
+    ConstraintError,
+    ExecutionError,
+    PlanningError,
+    ReproError,
+    SchemaError,
+    SemanticError,
+    SqlTsSyntaxError,
+)
+from repro.match.base import Instrumentation, Match, Span
+from repro.pattern.compiler import CompiledPattern, compile_pattern
+from repro.pattern.predicates import AttributeDomains
+from repro.pattern.spec import PatternElement, PatternSpec
+from repro.sqlts.parser import parse_query
+from repro.sqlts.semantic import analyze
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "Executor",
+    "ExecutionReport",
+    "execute",
+    "Result",
+    "Session",
+    "Table",
+    "Schema",
+    "Column",
+    "Instrumentation",
+    "Match",
+    "Span",
+    "CompiledPattern",
+    "compile_pattern",
+    "PatternSpec",
+    "PatternElement",
+    "AttributeDomains",
+    "parse_query",
+    "analyze",
+    "ReproError",
+    "SqlTsSyntaxError",
+    "SemanticError",
+    "PlanningError",
+    "ExecutionError",
+    "SchemaError",
+    "ConstraintError",
+    "__version__",
+]

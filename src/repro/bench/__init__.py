@@ -1,0 +1,21 @@
+"""Benchmark-harness support: matcher comparison, workloads, reporting.
+
+The ``benchmarks/`` directory at the repository root contains one
+pytest-benchmark module per paper table/figure; the heavy lifting (run a
+query under several matchers, count predicate tests, check the match sets
+agree, format the rows the paper reports) lives here so it is importable,
+unit-testable library code.
+"""
+
+from repro.bench.harness import MatcherRun, compare_matchers, compare_on_rows
+from repro.bench.report import format_table
+from repro.bench.workloads import staircase_spec, staircase_rows
+
+__all__ = [
+    "MatcherRun",
+    "compare_matchers",
+    "compare_on_rows",
+    "format_table",
+    "staircase_spec",
+    "staircase_rows",
+]

@@ -1,0 +1,60 @@
+"""Ablated compilations for the design-choice benchmarks.
+
+DESIGN.md calls out two ablations:
+
+- **structure-blind OPS** (:func:`compile_blind`): the OPS control
+  structure with all theta/phi knowledge erased (every off-diagonal entry
+  forced to U).  Shift/next collapse to the most conservative values, so
+  the measured gap between this and the full compilation isolates how
+  much of the speedup comes from *logical implication* rather than from
+  the runtime's mere bookkeeping;
+- **paper-literal rules** (``compile_pattern(spec, use_equivalence=False)``):
+  disables the equivalent-star-pair graph refinement, giving exactly the
+  paper's arc rules.
+"""
+
+from __future__ import annotations
+
+from repro.logic.matrix import TriangularMatrix
+from repro.logic.tribool import FALSE, TRUE, UNKNOWN
+from repro.pattern.analysis import build_phi, build_theta
+from repro.pattern.compiler import CompiledPattern
+from repro.pattern.shift_next import compute_shift_next
+from repro.pattern.spec import PatternSpec
+from repro.pattern.star_graph import ImplicationGraph
+from repro.pattern.star_shift_next import compute_star_shift_next
+
+
+def _blind_matrices(m: int) -> tuple[TriangularMatrix, TriangularMatrix]:
+    """All-unknown theta/phi with only the forced diagonal values."""
+    theta = TriangularMatrix(m, fill=UNKNOWN)
+    phi = TriangularMatrix(m, fill=UNKNOWN)
+    for j in range(1, m + 1):
+        theta[j, j] = TRUE  # p => p
+        phi[j, j] = FALSE  # NOT p => NOT p
+    return theta, phi
+
+
+def compile_blind(spec: PatternSpec) -> CompiledPattern:
+    """Compile with all pairwise implication knowledge erased."""
+    theta, phi = _blind_matrices(len(spec))
+    if spec.has_star:
+        graph = ImplicationGraph(theta, phi, [e.star for e in spec])
+        shift_next = compute_star_shift_next(graph)
+        return CompiledPattern(
+            spec=spec,
+            theta=theta,
+            phi=phi,
+            shift_next=shift_next,
+            s_matrix=None,
+            graph=graph,
+        )
+    shift_next, s_matrix = compute_shift_next(theta, phi)
+    return CompiledPattern(
+        spec=spec,
+        theta=theta,
+        phi=phi,
+        shift_next=shift_next,
+        s_matrix=s_matrix,
+        graph=None,
+    )

@@ -1,0 +1,84 @@
+"""Text rendering of the paper's figures (no plotting dependencies).
+
+:func:`render_path_curves` draws Figure 5 — the evolution of the pattern
+cursor ``j`` against the input cursor ``i`` for two matchers — as aligned
+ASCII step charts; :func:`render_series_with_matches` draws Figure 7's
+top panel (the price series with match regions marked).  Both also have
+``*_csv`` companions so the raw series can be re-plotted elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+Trace = Sequence[tuple[int, int]]
+
+
+def render_path_curve(trace: Trace, title: str = "", height: int | None = None) -> str:
+    """One (step -> j) chart; the x axis is the test step, y the pattern
+    position being tested, matching the paper's Figure 5 layout."""
+    if not trace:
+        return f"{title}\n(empty trace)"
+    max_j = max(j for _, j in trace)
+    height = height if height is not None else max_j
+    lines = [title] if title else []
+    for level in range(height, 0, -1):
+        row = "".join("*" if j == level else " " for _, j in trace)
+        lines.append(f"j={level:<2d} |{row}")
+    lines.append("     +" + "-" * len(trace))
+    lines.append(f"      steps 1..{len(trace)}  (i advances with the step)")
+    return "\n".join(lines)
+
+
+def render_path_curves(
+    naive_trace: Trace, ops_trace: Trace, height: int | None = None
+) -> str:
+    """Both Figure 5 panels, naive on top like the paper."""
+    max_j = max(
+        [j for _, j in naive_trace] + [j for _, j in ops_trace] + [1]
+    )
+    height = height if height is not None else max_j
+    return (
+        render_path_curve(naive_trace, "naive search path", height)
+        + "\n\n"
+        + render_path_curve(ops_trace, "OPS search path", height)
+    )
+
+
+def path_curve_csv(naive_trace: Trace, ops_trace: Trace) -> str:
+    """The two curves as CSV: step, algorithm, i, j."""
+    lines = ["step,algorithm,i,j"]
+    for name, trace in (("naive", naive_trace), ("ops", ops_trace)):
+        for step, (i, j) in enumerate(trace, start=1):
+            lines.append(f"{step},{name},{i},{j}")
+    return "\n".join(lines) + "\n"
+
+
+def render_series_with_matches(
+    values: Sequence[float],
+    match_spans: Sequence[tuple[int, int]],
+    height: int = 12,
+    width: int = 72,
+) -> str:
+    """Figure 7's top panel: the series with match regions marked below."""
+    if not values:
+        return "(empty series)"
+    if len(values) > width:
+        step = len(values) / width
+        sample_indices = [int(k * step) for k in range(width)]
+    else:
+        sample_indices = list(range(len(values)))
+    sampled = [values[k] for k in sample_indices]
+    low, high = min(sampled), max(sampled)
+    span = (high - low) or 1.0
+    lines = []
+    for level in range(height, -1, -1):
+        threshold = low + span * level / height
+        lines.append("".join("*" if v >= threshold else " " for v in sampled))
+    marker = []
+    for k in sample_indices:
+        inside = any(start <= k <= end for start, end in match_spans)
+        marker.append("^" if inside else " ")
+    lines.append("".join(marker))
+    lines.append(f"({len(match_spans)} match regions marked with ^)")
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Run matchers side by side and collect the paper's metric.
+
+"In order to measure performance, we count the number of times that an
+element of input is tested against a pattern element" (Section 7).  The
+harness runs the same workload under several matchers, records those
+counts, and — crucially — asserts that every matcher produced the same
+matches, so a speedup can never silently come from dropping answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Executor
+from repro.engine.result import Result
+from repro.errors import ExecutionError
+from repro.match.backtracking import BacktrackingMatcher
+from repro.match.base import Instrumentation, Match, Matcher
+from repro.match.naive import NaiveMatcher
+from repro.match.ops import OpsMatcher
+from repro.match.ops_star import OpsStarMatcher
+from repro.pattern.compiler import CompiledPattern
+from repro.pattern.predicates import AttributeDomains
+
+#: Matchers the harness knows by name.
+NAMED_MATCHERS: dict[str, type] = {
+    "naive": NaiveMatcher,
+    "backtracking": BacktrackingMatcher,
+    "ops": OpsStarMatcher,
+    "ops-nonstar": OpsMatcher,
+}
+
+
+@dataclass(frozen=True)
+class MatcherRun:
+    """One matcher's outcome on one workload."""
+
+    name: str
+    predicate_tests: int
+    matches: int
+    result: Optional[Result] = None
+
+    def speedup_over(self, other: "MatcherRun") -> float:
+        """How many times fewer tests this run needed than ``other``."""
+        if self.predicate_tests == 0:
+            return float("inf")
+        return other.predicate_tests / self.predicate_tests
+
+
+def _resolve(matcher: Union[str, Matcher]) -> tuple[str, Matcher]:
+    if isinstance(matcher, str):
+        try:
+            return matcher, NAMED_MATCHERS[matcher]()
+        except KeyError:
+            raise ExecutionError(
+                f"unknown matcher {matcher!r} (choose from {sorted(NAMED_MATCHERS)})"
+            ) from None
+    return type(matcher).__name__, matcher
+
+
+def compare_matchers(
+    catalog: Catalog,
+    sql: str,
+    matchers: Sequence[Union[str, Matcher]] = ("naive", "ops"),
+    domains: Optional[AttributeDomains] = None,
+    require_identical: bool = True,
+) -> dict[str, MatcherRun]:
+    """Execute one SQL-TS query under each matcher; return runs by name."""
+    runs: dict[str, MatcherRun] = {}
+    reference: Optional[Result] = None
+    for entry in matchers:
+        name, matcher = _resolve(entry)
+        instrumentation = Instrumentation()
+        result = Executor(catalog, domains=domains, matcher=matcher).execute(
+            sql, instrumentation
+        )
+        if require_identical:
+            if reference is None:
+                reference = result
+            elif result != reference:
+                raise AssertionError(
+                    f"matcher {name!r} produced different results "
+                    f"({len(result)} vs {len(reference)} rows)"
+                )
+        runs[name] = MatcherRun(
+            name=name,
+            predicate_tests=instrumentation.tests,
+            matches=len(result),
+            result=result,
+        )
+    return runs
+
+
+def compare_on_rows(
+    rows: Sequence[Mapping[str, object]],
+    pattern: CompiledPattern,
+    matchers: Sequence[Union[str, Matcher]] = ("naive", "ops"),
+    require_identical: bool = True,
+) -> dict[str, MatcherRun]:
+    """Pattern-level comparison on a raw row sequence (no SQL layer)."""
+    runs: dict[str, MatcherRun] = {}
+    reference: Optional[list[Match]] = None
+    for entry in matchers:
+        name, matcher = _resolve(entry)
+        instrumentation = Instrumentation()
+        matches = matcher.find_matches(rows, pattern, instrumentation)
+        if require_identical:
+            if reference is None:
+                reference = matches
+            elif matches != reference:
+                raise AssertionError(
+                    f"matcher {name!r} produced different matches "
+                    f"({len(matches)} vs {len(reference)})"
+                )
+        runs[name] = MatcherRun(
+            name=name, predicate_tests=instrumentation.tests, matches=len(matches)
+        )
+    return runs

@@ -1,0 +1,50 @@
+"""Plain-text table formatting for benchmark output.
+
+pytest-benchmark reports wall times; the paper reports predicate-test
+counts and speedups.  :func:`format_table` renders those rows so each
+bench prints the same kind of table the paper's Section 7 discusses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table (numbers right-aligned)."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max([len(header)] + [len(row[index]) for row in cells])
+        for index, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for source, row in zip(rows, cells):
+        lines.append(
+            "  ".join(
+                cell.rjust(w) if _is_number(value) else cell.ljust(w)
+                for cell, w, value in zip(row, widths, source)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

@@ -1,0 +1,230 @@
+"""One-command regeneration of every experiment table.
+
+``python -m repro.bench.run_all`` reruns the measured artefacts E1–E9
+(plus the streaming extension) and prints the tables EXPERIMENTS.md
+reports, without going through pytest.  Runtime is a couple of minutes;
+pass ``--quick`` to shrink the sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.ablation import compile_blind
+from repro.bench.figures import render_path_curves
+from repro.bench.harness import compare_matchers, compare_on_rows
+from repro.bench.report import format_table
+from repro.bench.workloads import staircase_rows, staircase_spec
+from repro.data.djia import djia_table
+from repro.data.quotes import quote_table
+from repro.data.workloads import EXAMPLE_10, FIGURE5_SEQUENCE
+from repro.engine.catalog import Catalog
+from repro.match.base import Instrumentation
+from repro.match.naive import NaiveMatcher
+from repro.match.ops import OpsMatcher
+from repro.pattern.compiler import compile_pattern
+from repro.pattern.predicates import AttributeDomains, col, comparison, predicate
+from repro.pattern.spec import PatternElement, PatternSpec
+
+DOMAINS = AttributeDomains.prices()
+
+
+def _banner(text: str, out) -> None:
+    print(file=out)
+    print("=" * 72, file=out)
+    print(text, file=out)
+    print("=" * 72, file=out)
+
+
+def run_figure5(out) -> None:
+    _banner("E1 / Figure 5 — path curves, Example 4 pattern", out)
+    price = col("price")
+    prev = price.previous
+    p = lambda *c: predicate(*c, domains=DOMAINS)
+    spec = PatternSpec(
+        [
+            PatternElement("Y", p(comparison(price, "<", prev))),
+            PatternElement(
+                "Z",
+                p(
+                    comparison(price, "<", prev),
+                    comparison(40, "<", price),
+                    comparison(price, "<", 50),
+                ),
+            ),
+            PatternElement(
+                "T", p(comparison(price, ">", prev), comparison(price, "<", 52))
+            ),
+            PatternElement("U", p(comparison(price, ">", prev))),
+        ]
+    )
+    plan = compile_pattern(spec)
+    rows = [{"price": float(v)} for v in FIGURE5_SEQUENCE]
+    naive_inst = Instrumentation(record_trace=True)
+    ops_inst = Instrumentation(record_trace=True)
+    NaiveMatcher().find_matches(rows, plan, naive_inst)
+    OpsMatcher().find_matches(rows, plan, ops_inst)
+    print(render_path_curves(naive_inst.trace, ops_inst.trace), file=out)
+    print(
+        f"\npath lengths: naive={naive_inst.tests}, ops={ops_inst.tests}",
+        file=out,
+    )
+
+
+def run_double_bottom(out) -> None:
+    _banner("E4 / Section 7 — relaxed double-bottom on synthetic DJIA", out)
+    catalog = Catalog([djia_table()])
+    n_days = len(catalog.table("djia"))
+    runs = compare_matchers(
+        catalog, EXAMPLE_10, matchers=("naive", "backtracking", "ops"), domains=DOMAINS
+    )
+    ops = runs["ops"]
+    print(
+        format_table(
+            ["evaluator", "predicate tests", "tests/day", "matches", "ops speedup"],
+            [
+                (
+                    run.name,
+                    run.predicate_tests,
+                    run.predicate_tests / n_days,
+                    run.matches,
+                    ops.speedup_over(run),
+                )
+                for run in runs.values()
+            ],
+            title=f"{n_days} days; paper: 12 matches, 93x",
+        ),
+        file=out,
+    )
+
+
+def run_sweep(out, quick: bool) -> None:
+    _banner("E5 / Section 7 — complex-pattern sweep ('up to 800 times')", out)
+    n = 1500 if quick else 4000
+    table = []
+    alternation_axis = (2, 4) if quick else (2, 4, 8, 12)
+    run_axis = ((5, 10), (15, 30)) if quick else ((5, 10), (15, 30), (40, 80))
+    for alternations in alternation_axis:
+        for min_run, max_run in run_axis:
+            rows = staircase_rows(n, min_run=min_run, max_run=max_run, seed=1)
+            plan = compile_pattern(staircase_spec(alternations))
+            runs = compare_on_rows(rows, plan, ("naive", "ops"))
+            table.append(
+                (
+                    alternations,
+                    f"{min_run}-{max_run}",
+                    runs["naive"].predicate_tests,
+                    runs["ops"].predicate_tests,
+                    round(runs["ops"].speedup_over(runs["naive"]), 1),
+                )
+            )
+    print(
+        format_table(
+            ["alternations", "run length", "naive tests", "ops tests", "speedup"],
+            table,
+        ),
+        file=out,
+    )
+
+
+def run_ablation(out) -> None:
+    _banner("E5 ablation — structure-blind OPS", out)
+    rows = staircase_rows(3000, min_run=15, max_run=30, seed=1)
+    spec = staircase_spec(8)
+    full = compare_on_rows(rows, compile_pattern(spec), ("naive", "ops"))
+    blind = compare_on_rows(
+        rows, compile_blind(spec), ("ops",), require_identical=False
+    )["ops"]
+    print(
+        format_table(
+            ["compilation", "ops tests", "speedup vs naive"],
+            [
+                ("full theta/phi", full["ops"].predicate_tests,
+                 round(full["ops"].speedup_over(full["naive"]), 1)),
+                ("all-U (blind)", blind.predicate_tests,
+                 round(blind.speedup_over(full["naive"]), 1)),
+            ],
+        ),
+        file=out,
+    )
+
+
+def run_text(out) -> None:
+    _banner("E9 / Section 8 — string matchers", out)
+    import random
+
+    from repro.match.text import (
+        TextStats,
+        boyer_moore_search,
+        karp_rabin_search,
+        kmp_search,
+        naive_search,
+    )
+
+    rng = random.Random(12)
+    text = "".join(rng.choice("abcdefghijklmnopqrstuvwxyz") for _ in range(20000))
+    pattern = "qzjxkvbw"
+    rows = []
+    for name, algorithm in (
+        ("naive", naive_search),
+        ("kmp", kmp_search),
+        ("boyer-moore", boyer_moore_search),
+        ("karp-rabin", karp_rabin_search),
+    ):
+        stats = TextStats()
+        algorithm(text, pattern, stats)
+        rows.append((name, stats.comparisons, stats.hash_operations))
+    print(
+        format_table(
+            ["algorithm", "char comparisons", "hash ops"],
+            rows,
+            title="random 26-letter text, n=20000, m=8",
+        ),
+        file=out,
+    )
+
+
+def run_quote_examples(out) -> None:
+    _banner("Paper example queries on the quote table (OPS vs naive)", out)
+    from repro.data import workloads
+
+    catalog = Catalog([quote_table(days=500, seed=7), djia_table()])
+    rows = []
+    for name in sorted(workloads.ALL_EXAMPLES):
+        runs = compare_matchers(
+            catalog, workloads.ALL_EXAMPLES[name], ("naive", "ops"), domains=DOMAINS
+        )
+        rows.append(
+            (
+                name,
+                runs["ops"].matches,
+                runs["naive"].predicate_tests,
+                runs["ops"].predicate_tests,
+                round(runs["ops"].speedup_over(runs["naive"]), 2),
+            )
+        )
+    print(
+        format_table(
+            ["query", "matches", "naive tests", "ops tests", "speedup"], rows
+        ),
+        file=out,
+    )
+
+
+def main(argv=None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller sweeps")
+    args = parser.parse_args(argv)
+    run_figure5(out)
+    run_double_bottom(out)
+    run_sweep(out, args.quick)
+    run_ablation(out)
+    run_text(out)
+    run_quote_examples(out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

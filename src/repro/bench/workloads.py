@@ -1,0 +1,84 @@
+"""Programmatic pattern/data builders used by the benchmark sweeps."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.constraints.atoms import Op
+from repro.data.random_walk import sawtooth
+from repro.pattern.predicates import AttributeDomains, col, comparison, predicate
+from repro.pattern.spec import PatternElement, PatternSpec
+
+_PRICE = col("price")
+_PREV = _PRICE.previous
+_DOMAINS = AttributeDomains.prices()
+
+
+def rise_predicate():
+    """t.price > t.previous.price"""
+    return predicate(comparison(_PRICE, ">", _PREV), domains=_DOMAINS, label="rise")
+
+
+def fall_predicate():
+    """t.price < t.previous.price"""
+    return predicate(comparison(_PRICE, "<", _PREV), domains=_DOMAINS, label="fall")
+
+
+def threshold_predicate(op: str, bound: float):
+    """t.price op bound"""
+    return predicate(
+        comparison(_PRICE, Op(op), bound), domains=_DOMAINS, label=f"price{op}{bound:g}"
+    )
+
+
+def staircase_spec(alternations: int, final_bound: float = 5.0) -> PatternSpec:
+    """``(*rise, *fall, *rise, ..., price < bound)`` — the sweep family.
+
+    ``alternations`` starred rise/fall runs followed by one rare
+    threshold element.  Restart-at-start+1 baselines pay the full
+    remaining staircase from every interior position of every run, so
+    their cost grows with ``alternations x run-length`` per input element
+    while OPS stays near one test per element — the mechanism behind the
+    paper's "speedups of more than two orders of magnitude ... up to 800
+    times" on complex patterns.
+    """
+    if alternations < 1:
+        raise ValueError("need at least one starred run")
+    elements = [
+        PatternElement(
+            f"E{index}",
+            rise_predicate() if index % 2 == 0 else fall_predicate(),
+            star=True,
+        )
+        for index in range(alternations)
+    ]
+    elements.append(PatternElement("S", threshold_predicate("<", final_bound)))
+    return PatternSpec(elements)
+
+
+def staircase_rows(
+    n: int,
+    min_run: int = 8,
+    max_run: int = 25,
+    floor: float = 8.0,
+    seed: int = 1,
+) -> list[dict[str, object]]:
+    """Sawtooth rows matching :func:`staircase_spec` (never below floor,
+    so the final threshold never fires and every attempt runs deep)."""
+    return [{"price": price} for price in sawtooth(
+        n, floor=floor, min_run=min_run, max_run=max_run, seed=seed
+    )]
+
+
+def constant_pattern_spec(values: Sequence[float]) -> PatternSpec:
+    """An Example 3-style equality pattern: price = v1, v2, ... (KMP-able)."""
+    elements = [
+        PatternElement(
+            f"C{index}",
+            predicate(
+                comparison(_PRICE, "=", value), domains=_DOMAINS, label=f"={value:g}"
+            ),
+        )
+        for index, value in enumerate(values)
+    ]
+    return PatternSpec(elements)

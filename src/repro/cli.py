@@ -1,0 +1,239 @@
+"""Command-line interface: run SQL-TS queries over CSV files.
+
+Usage examples::
+
+    # Run a query over a CSV-backed table.
+    python -m repro query \
+        --table "quote=quotes.csv:name:str,date:date,price:float" \
+        --positive price \
+        "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date \
+         AS (X, Y, Z) WHERE Y.price > 1.15*X.price AND Z.price < 0.8*Y.price"
+
+    # Show the compiled OPS plan without touching data.
+    python -m repro explain --positive price \
+        "SELECT X.date FROM djia SEQUENCE BY date AS (X, *Y, Z) \
+         WHERE Y.price < Y.previous.price AND Z.price > Z.previous.price"
+
+    # The built-in synthetic datasets are available without --table:
+    python -m repro query --demo-data --stats \
+        "SELECT X.NEXT.date FROM djia SEQUENCE BY date AS (X, *Y, S) \
+         WHERE Y.price < 0.98*Y.previous.price AND S.price > S.previous.price"
+
+The ``query`` subcommand prints the result relation; ``--stats`` adds the
+paper's predicate-test counts per matcher; ``--matcher`` selects the
+evaluator (default ``ops``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench.harness import NAMED_MATCHERS
+from repro.engine.catalog import Catalog
+from repro.engine.csv_io import load_csv
+from repro.engine.executor import Executor
+from repro.engine.table import Schema
+from repro.errors import ReproError
+from repro.match.base import Instrumentation
+from repro.pattern.predicates import AttributeDomains
+
+
+def _parse_table_spec(spec: str) -> tuple[str, str, Schema]:
+    """Parse ``name=path.csv:col:type,col:type,...`` into its parts."""
+    try:
+        name, rest = spec.split("=", 1)
+        path, schema_text = rest.split(":", 1)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad --table spec {spec!r}; expected name=path.csv:col:type,..."
+        ) from None
+    columns = []
+    for chunk in schema_text.split(","):
+        try:
+            column, type_name = chunk.split(":")
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"bad column spec {chunk!r}; expected col:type"
+            ) from None
+        columns.append((column.strip(), type_name.strip()))
+    try:
+        return name, path, Schema(columns)
+    except ReproError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _build_catalog(args: argparse.Namespace) -> Catalog:
+    catalog = Catalog()
+    if args.demo_data:
+        from repro.data.djia import djia_table
+        from repro.data.quotes import quote_table
+
+        catalog.register(djia_table())
+        catalog.register(quote_table())
+    for name, path, schema in args.table:
+        catalog.register(load_csv(path, name, schema))
+    return catalog
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("sql", help="the SQL-TS query text")
+    parser.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        type=_parse_table_spec,
+        metavar="NAME=PATH:COL:TYPE,...",
+        help="register a CSV file as a table (repeatable)",
+    )
+    parser.add_argument(
+        "--demo-data",
+        action="store_true",
+        help="register the built-in synthetic djia and quote tables",
+    )
+    parser.add_argument(
+        "--positive",
+        action="append",
+        default=[],
+        metavar="ATTR",
+        help="declare an attribute positive (enables the ratio rewrite; "
+        "repeatable; 'price' is what the paper's queries need)",
+    )
+
+
+def _command_query(args: argparse.Namespace, out) -> int:
+    catalog = _build_catalog(args)
+    domains = AttributeDomains(args.positive)
+    executor = Executor(catalog, domains=domains, matcher=args.matcher)
+    instrumentation = Instrumentation()
+    result, report = executor.execute_with_report(args.sql, instrumentation)
+    print(result.pretty(max_rows=args.max_rows), file=out)
+    print(f"({len(result)} rows)", file=out)
+    if args.stats:
+        print(file=out)
+        print(
+            f"matcher={report.matcher} clusters={report.clusters} "
+            f"rows_scanned={report.rows_scanned} "
+            f"predicate_tests={report.predicate_tests} "
+            f"matches={report.matches}",
+            file=out,
+        )
+        if args.matcher != "naive":
+            naive_inst = Instrumentation()
+            Executor(catalog, domains=domains, matcher="naive").execute(
+                args.sql, naive_inst
+            )
+            if instrumentation.tests:
+                speedup = naive_inst.tests / instrumentation.tests
+                print(
+                    f"naive_tests={naive_inst.tests} speedup={speedup:.2f}x",
+                    file=out,
+                )
+    return 0
+
+
+def _command_explain(args: argparse.Namespace, out) -> int:
+    catalog = _build_catalog(args)
+    domains = AttributeDomains(args.positive)
+    executor = Executor(catalog, domains=domains)
+    analyzed, compiled = executor.prepare(args.sql)
+    print(f"table: {analyzed.table}", file=out)
+    if analyzed.cluster_by:
+        print(f"cluster by: {', '.join(analyzed.cluster_by)}", file=out)
+    if analyzed.sequence_by:
+        print(f"sequence by: {', '.join(analyzed.sequence_by)}", file=out)
+    if analyzed.cluster_filter:
+        rendered = " AND ".join(str(c) for c in analyzed.cluster_filter)
+        print(f"cluster filter: {rendered}", file=out)
+    print(file=out)
+    for element in analyzed.spec:
+        print(f"  {element}: {element.predicate!r}", file=out)
+    print(file=out)
+    print(compiled.describe(), file=out)
+    if compiled.graph is not None:
+        print(file=out)
+        print("implication graph G_P:", file=out)
+        print(compiled.graph.render(), file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SQL-TS sequence queries with the OPS optimizer (PODS 2001)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    query = subparsers.add_parser("query", help="execute a query")
+    _add_common_arguments(query)
+    query.add_argument(
+        "--matcher",
+        choices=sorted(NAMED_MATCHERS),
+        default="ops",
+        help="evaluation strategy (default: ops)",
+    )
+    query.add_argument(
+        "--stats", action="store_true", help="print execution statistics"
+    )
+    query.add_argument(
+        "--max-rows", type=int, default=20, help="rows to display (default 20)"
+    )
+    query.set_defaults(func=_command_query)
+
+    explain = subparsers.add_parser(
+        "explain", help="show the compiled OPS plan for a query"
+    )
+    _add_common_arguments(explain)
+    explain.set_defaults(func=_command_explain)
+
+    script = subparsers.add_parser(
+        "script",
+        help="run a ;-separated script of CREATE TABLE / INSERT / SELECT",
+    )
+    script.add_argument("path", help="path to the .sql script file")
+    script.add_argument(
+        "--positive",
+        action="append",
+        default=[],
+        metavar="ATTR",
+        help="declare an attribute positive (enables the ratio rewrite)",
+    )
+    script.add_argument(
+        "--matcher",
+        choices=sorted(NAMED_MATCHERS),
+        default="ops",
+        help="evaluation strategy (default: ops)",
+    )
+    script.set_defaults(func=_command_script)
+    return parser
+
+
+def _command_script(args: argparse.Namespace, out) -> int:
+    from repro.engine.session import Session
+
+    with open(args.path) as handle:
+        text = handle.read()
+    session = Session(
+        domains=AttributeDomains(args.positive), matcher=args.matcher
+    )
+    for result in session.run_script(text):
+        print(result.pretty(), file=out)
+        print(f"({len(result)} rows)", file=out)
+        print(file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

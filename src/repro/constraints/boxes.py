@@ -1,0 +1,156 @@
+"""Multidimensional interval predicates (Section 8 / [13] extension).
+
+The paper's conclusion describes a method for "predicates on intervals
+(open and closed intervals, single-dimensional and multidimensional
+ones)" that "transforms implication and satisfiability problems into set
+inclusion problems".  This module supplies the multidimensional half:
+
+- a :class:`Box` is a product of per-dimension
+  :class:`~repro.constraints.intervals.Interval` constraints (dimensions
+  not mentioned are unconstrained) — the solution set of a conjunction of
+  single-variable bounds over several variables;
+- a :class:`BoxSet` is a finite union of boxes — the solution set of a
+  DNF of such conjunctions;
+- satisfiability = non-emptiness; implication = set inclusion, exact for
+  Box ⊆ BoxSet along any single axis and sound (single-witness) for
+  general unions, mirroring the conservatism of
+  :mod:`repro.constraints.dnf`.
+
+Spatio-temporal pattern queries (the paper's geoscience motivation [9])
+are conjunctions of such box predicates per element; this module is what
+lets theta/phi reasoning extend to them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.constraints.intervals import FULL_LINE, Interval, IntervalSet
+from repro.constraints.terms import Variable
+
+
+class Box:
+    """An axis-aligned box: one interval constraint per mentioned variable."""
+
+    __slots__ = ("_dimensions",)
+
+    def __init__(self, dimensions: Mapping[Variable, Interval]):
+        self._dimensions: dict[Variable, Interval] = dict(dimensions)
+
+    @classmethod
+    def unconstrained(cls) -> "Box":
+        return cls({})
+
+    @property
+    def dimensions(self) -> dict[Variable, Interval]:
+        return dict(self._dimensions)
+
+    def interval(self, variable: Variable) -> Interval:
+        """The constraint on one axis (the full line if unmentioned)."""
+        return self._dimensions.get(variable, FULL_LINE)
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        return frozenset(self._dimensions)
+
+    @property
+    def empty(self) -> bool:
+        return any(interval.empty for interval in self._dimensions.values())
+
+    def contains(self, point: Mapping[Variable, float]) -> bool:
+        """Point membership; unmentioned point coordinates are ignored."""
+        return all(
+            self.interval(variable).contains(point[variable])
+            for variable in self._dimensions
+        )
+
+    def intersect(self, other: "Box") -> "Box":
+        merged: dict[Variable, Interval] = dict(self._dimensions)
+        for variable, interval in other._dimensions.items():
+            if variable in merged:
+                merged[variable] = merged[variable].intersect(interval)
+            else:
+                merged[variable] = interval
+        return Box(merged)
+
+    def subset_of(self, other: "Box") -> bool:
+        """Exact inclusion: every axis of ``other`` must contain ours."""
+        if self.empty:
+            return True
+        return all(
+            self.interval(variable).subset_of(interval)
+            for variable, interval in other._dimensions.items()
+        )
+
+    def disjoint_from(self, other: "Box") -> bool:
+        return self.intersect(other).empty
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Box):
+            return NotImplemented
+        variables = self.variables | other.variables
+        return all(self.interval(v) == other.interval(v) for v in variables)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._dimensions.items()))
+
+    def __repr__(self) -> str:
+        if not self._dimensions:
+            return "Box(unconstrained)"
+        parts = ", ".join(
+            f"{variable}: {interval}"
+            for variable, interval in sorted(
+                self._dimensions.items(), key=lambda kv: kv[0].name
+            )
+        )
+        return f"Box({parts})"
+
+
+class BoxSet:
+    """A finite union of boxes (the multidimensional DNF solution set)."""
+
+    __slots__ = ("_boxes",)
+
+    def __init__(self, boxes: Iterable[Box]):
+        self._boxes = tuple(box for box in boxes if not box.empty)
+
+    @property
+    def boxes(self) -> tuple[Box, ...]:
+        return self._boxes
+
+    @property
+    def empty(self) -> bool:
+        return not self._boxes
+
+    def contains(self, point: Mapping[Variable, float]) -> bool:
+        return any(box.contains(point) for box in self._boxes)
+
+    def intersect(self, other: "BoxSet") -> "BoxSet":
+        return BoxSet(
+            a.intersect(b) for a in self._boxes for b in other._boxes
+        )
+
+    def union(self, other: "BoxSet") -> "BoxSet":
+        return BoxSet(self._boxes + other._boxes)
+
+    def subset_of(self, other: "BoxSet") -> bool:
+        """Sound (single-witness) inclusion: every box of self must fit
+        inside some single box of other.  Exact when ``other`` has one
+        box; a False answer on multi-box targets means "not proven"."""
+        return all(
+            any(mine.subset_of(theirs) for theirs in other._boxes)
+            for mine in self._boxes
+        )
+
+    def disjoint_from(self, other: "BoxSet") -> bool:
+        """Exact emptiness of the intersection."""
+        return self.intersect(other).empty
+
+    def projection(self, variable: Variable) -> IntervalSet:
+        """The exact shadow of the set on one axis."""
+        return IntervalSet([box.interval(variable) for box in self._boxes])
+
+    def __repr__(self) -> str:
+        if not self._boxes:
+            return "BoxSet(empty)"
+        return "BoxSet(" + " U ".join(repr(box) for box in self._boxes) + ")"

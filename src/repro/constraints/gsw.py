@@ -1,0 +1,243 @@
+"""The Guo–Sun–Weiss (GSW) decision procedures for conjunctions of inequalities.
+
+Section 6 of Sadri & Zaniolo cites Guo, Sun and Weiss (TKDE 1996) for
+deciding *implication* and *satisfiability* of conjunctions of atoms
+``X op C``, ``X op Y``, ``X op Y + C`` with ``op`` in
+``{=, !=, <, <=, >, >=}``.  This module implements both procedures over the
+real domain with the classic constraint-graph formulation:
+
+- every non-``!=`` atom becomes one or two *difference bounds*
+  ``x - y <= c`` (optionally strict), with a distinguished ``ZERO`` node
+  standing for the constant 0;
+- the min-plus closure of the bound graph (Floyd–Warshall over weights
+  ``(c, strict)`` ordered so a strict bound is tighter than a non-strict
+  bound of equal ``c``) yields the tightest derivable bound between every
+  pair of variables;
+- the conjunction is **unsatisfiable** iff some closure self-bound is
+  negative (``x - x <= c`` with ``c < 0``, or ``c = 0`` strict), or some
+  ``!=`` atom's equality is forced by the closure;
+- the conjunction **implies** an atom iff conjoining the atom's negation is
+  unsatisfiable (the negation of a GSW atom is again a GSW atom, so one
+  primitive suffices).
+
+Categorical equality atoms (``name = 'IBM'``) are decided by a separate
+elementary procedure and do not interact with the numeric graph.
+
+The closure is cubic in the number of variables; pattern predicates mention
+a handful of variables, so — as the paper notes — "these compilation costs
+are quite reasonable".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import chain
+from typing import Iterable, Optional, Sequence
+
+from repro.constraints.atoms import AnyAtom, Atom, CategoricalAtom, Op
+from repro.constraints.terms import Variable, ZERO
+from repro.errors import ConstraintError
+
+
+@dataclass(frozen=True, order=True)
+class Weight:
+    """A difference bound ``x - y <= c`` (strict: ``x - y < c``).
+
+    Ordering: smaller is *tighter*.  At equal ``c`` a strict bound is
+    tighter than a non-strict one, which the ``tightness`` field encodes
+    (``-1`` for strict, ``0`` for non-strict) so dataclass ordering gives
+    the right lexicographic comparison.
+    """
+
+    c: float
+    tightness: int  # -1 = strict, 0 = non-strict
+
+    @property
+    def strict(self) -> bool:
+        return self.tightness == -1
+
+    def __add__(self, other: "Weight") -> "Weight":
+        # A chain of bounds is strict as soon as one link is strict.
+        return Weight(self.c + other.c, min(self.tightness, other.tightness))
+
+    def entails(self, target: "Weight") -> bool:
+        """Does ``x - y <= self`` guarantee ``x - y <= target``?"""
+        if self.c < target.c:
+            return True
+        if self.c > target.c:
+            return False
+        # Equal constants: a strict derived bound entails both forms; a
+        # non-strict derived bound entails only the non-strict target.
+        return self.strict or not target.strict
+
+    def is_negative_cycle(self) -> bool:
+        """Would this self-bound (``x - x <= self``) be contradictory?"""
+        return self.c < 0 or (self.c == 0 and self.strict)
+
+
+def _bounds_of(a: Atom) -> list[tuple[Variable, Variable, Weight]]:
+    """Decompose a numeric atom into difference bounds ``(x, y, weight)``.
+
+    Each triple means ``x - y <= weight``.  Equality yields two bounds;
+    ``!=`` yields none (handled separately).
+    """
+    if a.op is Op.NE:
+        return []
+    if a.op is Op.LE:
+        return [(a.x, a.y, Weight(a.c, 0))]
+    if a.op is Op.LT:
+        return [(a.x, a.y, Weight(a.c, -1))]
+    if a.op is Op.GE:
+        return [(a.y, a.x, Weight(-a.c, 0))]
+    if a.op is Op.GT:
+        return [(a.y, a.x, Weight(-a.c, -1))]
+    if a.op is Op.EQ:
+        return [(a.x, a.y, Weight(a.c, 0)), (a.y, a.x, Weight(-a.c, 0))]
+    raise ConstraintError(f"unsupported operator: {a.op}")
+
+
+class BoundClosure:
+    """Min-plus closure of the difference-bound graph of a set of atoms."""
+
+    def __init__(self, atoms: Iterable[Atom]):
+        atoms = list(atoms)
+        variables: set[Variable] = {ZERO}
+        for a in atoms:
+            variables.add(a.x)
+            variables.add(a.y)
+        self._vars: list[Variable] = sorted(variables, key=lambda v: v.name)
+        index = {v: i for i, v in enumerate(self._vars)}
+        n = len(self._vars)
+        dist: list[list[Optional[Weight]]] = [[None] * n for _ in range(n)]
+        for i in range(n):
+            dist[i][i] = Weight(0.0, 0)
+        for a in atoms:
+            for x, y, w in _bounds_of(a):
+                i, j = index[x], index[y]
+                current = dist[i][j]
+                if current is None or w < current:
+                    dist[i][j] = w
+        for k in range(n):
+            for i in range(n):
+                d_ik = dist[i][k]
+                if d_ik is None:
+                    continue
+                for j in range(n):
+                    d_kj = dist[k][j]
+                    if d_kj is None:
+                        continue
+                    via = d_ik + d_kj
+                    current = dist[i][j]
+                    if current is None or via < current:
+                        dist[i][j] = via
+        self._index = index
+        self._dist = dist
+
+    @property
+    def feasible(self) -> bool:
+        """False when the closure contains a negative self-cycle."""
+        for i in range(len(self._vars)):
+            d = self._dist[i][i]
+            if d is not None and d.is_negative_cycle():
+                return False
+        return True
+
+    def bound(self, x: Variable, y: Variable) -> Optional[Weight]:
+        """The tightest derivable bound ``x - y <= w``, or None if unbounded."""
+        i = self._index.get(x)
+        j = self._index.get(y)
+        if i is None or j is None:
+            return Weight(0.0, 0) if x == y else None
+        return self._dist[i][j]
+
+    def forces_equality(self, x: Variable, y: Variable, c: float) -> bool:
+        """Does the closure force ``x - y == c`` exactly?"""
+        down = self.bound(x, y)
+        up = self.bound(y, x)
+        return (
+            down is not None
+            and up is not None
+            and not down.strict
+            and not up.strict
+            and down.c == c
+            and up.c == -c
+        )
+
+
+def _categorical_satisfiable(atoms: Sequence[CategoricalAtom]) -> bool:
+    """Satisfiability of categorical equality atoms (infinite domains)."""
+    equals: dict[Variable, str] = {}
+    not_equals: dict[Variable, set[str]] = {}
+    for a in atoms:
+        if a.op is Op.EQ:
+            if a.x in equals and equals[a.x] != a.value:
+                return False
+            equals[a.x] = a.value
+        else:
+            not_equals.setdefault(a.x, set()).add(a.value)
+    for var, value in equals.items():
+        if value in not_equals.get(var, ()):
+            return False
+    return True
+
+
+class GswSolver:
+    """Stateless facade exposing the two GSW decision procedures."""
+
+    @staticmethod
+    def satisfiable(atoms: Iterable[AnyAtom]) -> bool:
+        """Is the conjunction of ``atoms`` satisfiable over the reals?"""
+        numeric: list[Atom] = []
+        categorical: list[CategoricalAtom] = []
+        disequalities: list[Atom] = []
+        for a in atoms:
+            if isinstance(a, CategoricalAtom):
+                categorical.append(a)
+            elif a.op is Op.NE:
+                if a.x == a.y:
+                    if a.c == 0:
+                        return False  # x != x
+                    continue  # x != x + c with c != 0: trivially true
+                disequalities.append(a)
+            else:
+                if a.is_contradiction():
+                    return False
+                if a.is_tautology():
+                    continue
+                numeric.append(a)
+        if not _categorical_satisfiable(categorical):
+            return False
+        closure = BoundClosure(numeric)
+        if not closure.feasible:
+            return False
+        # Over a dense domain, a feasible difference system plus
+        # disequalities is satisfiable unless some disequality's equality
+        # is forced by the system.
+        for d in disequalities:
+            if closure.forces_equality(d.x, d.y, d.c):
+                return False
+        return True
+
+    @staticmethod
+    def implies(premises: Iterable[AnyAtom], conclusion: AnyAtom) -> bool:
+        """Does the conjunction of ``premises`` imply ``conclusion``?
+
+        Decided by refutation: ``premises AND NOT conclusion`` must be
+        unsatisfiable.  Note this is classical implication — an
+        unsatisfiable premise implies everything; callers guarding theta
+        and phi entries handle that case explicitly per the paper.
+        """
+        return not GswSolver.satisfiable(chain(premises, [conclusion.negate()]))
+
+    @staticmethod
+    def implies_all(premises: Iterable[AnyAtom], conclusions: Iterable[AnyAtom]) -> bool:
+        """Does the premise conjunction imply every conclusion atom?"""
+        premises = list(premises)
+        return all(GswSolver.implies(premises, c) for c in conclusions)
+
+    @staticmethod
+    def equivalent(left: Iterable[AnyAtom], right: Iterable[AnyAtom]) -> bool:
+        """Mutual implication of two conjunctions."""
+        left = list(left)
+        right = list(right)
+        return GswSolver.implies_all(left, right) and GswSolver.implies_all(right, left)

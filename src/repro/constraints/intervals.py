@@ -1,0 +1,236 @@
+"""Interval-based implication and satisfiability (Section 8 extension).
+
+The paper's conclusion describes a method that "transforms implication and
+satisfiability problems into set inclusion problems in the domain of
+intervals and their complements".  This module implements the
+one-dimensional instance: a predicate over a single numeric variable is
+normalized to an :class:`IntervalSet` (a union of disjoint intervals with
+open/closed endpoints), and then
+
+- satisfiability  <=>  the interval set is non-empty,
+- ``p`` implies ``q``  <=>  ``intervals(p)`` is a subset of ``intervals(q)``.
+
+This gives an *exact* decision procedure for single-variable predicates —
+including disjunctive ones — and doubles as an independent oracle the test
+suite uses to cross-check the GSW solver on that fragment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.constraints.atoms import Atom, Op
+from repro.constraints.terms import Variable, ZERO
+from repro.errors import ConstraintError
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A (possibly unbounded, possibly degenerate) real interval."""
+
+    low: float
+    high: float
+    low_closed: bool
+    high_closed: bool
+
+    def __post_init__(self) -> None:
+        if math.isinf(self.low) and self.low_closed:
+            raise ValueError("-inf endpoint cannot be closed")
+        if math.isinf(self.high) and self.high_closed:
+            raise ValueError("+inf endpoint cannot be closed")
+
+    @property
+    def empty(self) -> bool:
+        if self.low > self.high:
+            return True
+        if self.low == self.high:
+            return not (self.low_closed and self.high_closed)
+        return False
+
+    def contains(self, x: float) -> bool:
+        if x < self.low or x > self.high:
+            return False
+        if x == self.low and not self.low_closed:
+            return False
+        if x == self.high and not self.high_closed:
+            return False
+        return True
+
+    def intersect(self, other: "Interval") -> "Interval":
+        if self.low > other.low or (self.low == other.low and not self.low_closed):
+            low, low_closed = self.low, self.low_closed
+        else:
+            low, low_closed = other.low, other.low_closed
+        if self.high < other.high or (self.high == other.high and not self.high_closed):
+            high, high_closed = self.high, self.high_closed
+        else:
+            high, high_closed = other.high, other.high_closed
+        return Interval(low, high, low_closed, high_closed)
+
+    def subset_of(self, other: "Interval") -> bool:
+        if self.empty:
+            return True
+        low_ok = self.low > other.low or (
+            self.low == other.low and (other.low_closed or not self.low_closed)
+        )
+        high_ok = self.high < other.high or (
+            self.high == other.high and (other.high_closed or not self.high_closed)
+        )
+        return low_ok and high_ok
+
+    def __str__(self) -> str:
+        lb = "[" if self.low_closed else "("
+        rb = "]" if self.high_closed else ")"
+        return f"{lb}{self.low:g}, {self.high:g}{rb}"
+
+
+FULL_LINE = Interval(-math.inf, math.inf, False, False)
+
+
+class IntervalSet:
+    """A union of disjoint, sorted intervals over the real line."""
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()):
+        cleaned = [iv for iv in intervals if not iv.empty]
+        cleaned.sort(key=lambda iv: (iv.low, not iv.low_closed))
+        merged: list[Interval] = []
+        for iv in cleaned:
+            if merged and _touches(merged[-1], iv):
+                merged[-1] = _merge(merged[-1], iv)
+            else:
+                merged.append(iv)
+        self._intervals = tuple(merged)
+
+    @classmethod
+    def full(cls) -> "IntervalSet":
+        return cls([FULL_LINE])
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        return cls([])
+
+    @property
+    def intervals(self) -> tuple[Interval, ...]:
+        return self._intervals
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._intervals
+
+    def contains(self, x: float) -> bool:
+        return any(iv.contains(x) for iv in self._intervals)
+
+    def intersect(self, other: "IntervalSet") -> "IntervalSet":
+        pieces = [
+            a.intersect(b) for a in self._intervals for b in other._intervals
+        ]
+        return IntervalSet(pieces)
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        return IntervalSet(self._intervals + other._intervals)
+
+    def complement(self) -> "IntervalSet":
+        """The complement of the set within the real line."""
+
+        def gap(low: float, high: float, low_closed: bool, high_closed: bool) -> Interval:
+            # Infinite endpoints are always open, whatever the cursor says.
+            if math.isinf(low):
+                low_closed = False
+            if math.isinf(high):
+                high_closed = False
+            return Interval(low, high, low_closed, high_closed)
+
+        result: list[Interval] = []
+        cursor_low = -math.inf
+        cursor_closed = False
+        for iv in self._intervals:
+            result.append(gap(cursor_low, iv.low, cursor_closed, not iv.low_closed))
+            cursor_low = iv.high
+            cursor_closed = not iv.high_closed
+        result.append(gap(cursor_low, math.inf, cursor_closed, False))
+        return IntervalSet(result)
+
+    def subset_of(self, other: "IntervalSet") -> bool:
+        """Set inclusion — the paper's reduction target for implication."""
+        return all(
+            any(mine.subset_of(theirs) for theirs in other._intervals)
+            for mine in self._intervals
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __repr__(self) -> str:
+        if not self._intervals:
+            return "IntervalSet(empty)"
+        return "IntervalSet(" + " U ".join(str(iv) for iv in self._intervals) + ")"
+
+
+def _touches(a: Interval, b: Interval) -> bool:
+    """Can intervals a (lower) and b be merged into one interval?"""
+    if b.low < a.high:
+        return True
+    if b.low == a.high:
+        return a.high_closed or b.low_closed
+    return False
+
+
+def _merge(a: Interval, b: Interval) -> Interval:
+    if b.high > a.high or (b.high == a.high and b.high_closed):
+        return Interval(a.low, b.high, a.low_closed, b.high_closed)
+    return Interval(a.low, a.high, a.low_closed, a.high_closed)
+
+
+def atom_to_interval_set(a: Atom, variable: Variable) -> IntervalSet:
+    """Translate a single-variable constant atom into an interval set.
+
+    Only atoms of the form ``variable op constant`` (i.e. ``y = ZERO``) are
+    representable; anything else raises :class:`ConstraintError`.
+    """
+    if a.x != variable or a.y != ZERO:
+        raise ConstraintError(f"atom {a} is not a constant bound on {variable}")
+    c = a.c
+    if a.op is Op.LT:
+        return IntervalSet([Interval(-math.inf, c, False, False)])
+    if a.op is Op.LE:
+        return IntervalSet([Interval(-math.inf, c, False, True)])
+    if a.op is Op.GT:
+        return IntervalSet([Interval(c, math.inf, False, False)])
+    if a.op is Op.GE:
+        return IntervalSet([Interval(c, math.inf, True, False)])
+    if a.op is Op.EQ:
+        return IntervalSet([Interval(c, c, True, True)])
+    if a.op is Op.NE:
+        return IntervalSet([Interval(c, c, True, True)]).complement()
+    raise ConstraintError(f"unsupported operator: {a.op}")
+
+
+def atoms_to_interval_set(atoms: Sequence[Atom], variable: Variable) -> IntervalSet:
+    """The solution set of a conjunction of constant bounds on one variable."""
+    result = IntervalSet.full()
+    for a in atoms:
+        result = result.intersect(atom_to_interval_set(a, variable))
+    return result
+
+
+def interval_satisfiable(atoms: Sequence[Atom], variable: Variable) -> bool:
+    """Exact satisfiability for single-variable constant-bound predicates."""
+    return not atoms_to_interval_set(atoms, variable).is_empty
+
+
+def interval_implies(
+    premises: Sequence[Atom], conclusions: Sequence[Atom], variable: Variable
+) -> bool:
+    """Exact implication via set inclusion (the Section 8 reduction)."""
+    return atoms_to_interval_set(premises, variable).subset_of(
+        atoms_to_interval_set(conclusions, variable)
+    )

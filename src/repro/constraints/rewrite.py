@@ -1,0 +1,64 @@
+"""The Section 6 multiplicative rewrite: ``X op C*Y``  →  ``X/Y op C``.
+
+GSW handles additive atoms only, but SQL-TS queries over stock prices are
+dominated by *relative-change* conditions such as
+
+    Y.price < 0.98 * Y.previous.price
+
+Section 6: "we can take advantage of the fact that the domain of Y is
+positive numbers (stock prices) and introduce a new variable Z = X/Y; then
+we work with Z op C instead of the original X op C*Y."
+
+:func:`rewrite_multiplicative` performs that transformation on an atom
+description; the pattern-predicate normalizer applies it whenever the
+attribute involved is declared positive (see
+``repro.pattern.predicates.AttributeDomains``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.atoms import Atom, Op, atom
+from repro.constraints.terms import Variable, ratio_variable
+from repro.errors import ConstraintError
+
+
+@dataclass(frozen=True)
+class MultiplicativeAtom:
+    """A not-yet-linear atom ``x op coefficient * y``."""
+
+    x: Variable
+    op: Op
+    coefficient: float
+    y: Variable
+
+
+def rewrite_multiplicative(m: MultiplicativeAtom) -> Atom:
+    """Linearize ``x op c*y`` into ``(x/y) op c`` for positive ``y``.
+
+    Dividing both sides of ``x op c*y`` by a positive ``y`` preserves the
+    comparison direction, yielding the single-variable GSW atom
+    ``ratio op c`` over the ratio variable ``x/y``.
+
+    Raises :class:`ConstraintError` when the coefficient is not positive —
+    with a sign change the rewrite would have to flip the operator *and*
+    the positivity argument no longer closes, so we refuse rather than
+    produce an unsound atom.
+    """
+    if m.coefficient <= 0:
+        raise ConstraintError(
+            f"multiplicative rewrite requires a positive coefficient, got {m.coefficient}"
+        )
+    ratio = ratio_variable(m.x, m.y)
+    return atom(ratio, m.op, m.coefficient)
+
+
+def ratio_value(x_value: float, y_value: float) -> float:
+    """Runtime evaluation of a ratio variable (denominator must be positive)."""
+    if y_value <= 0:
+        raise ConstraintError(
+            f"ratio variable evaluated with non-positive denominator {y_value}; "
+            "the Section 6 rewrite is only sound over positive domains"
+        )
+    return x_value / y_value

@@ -1,0 +1,64 @@
+"""Variables appearing in constraint atoms.
+
+A :class:`Variable` is an opaque named symbol.  The pattern-predicate
+normalizer (``repro.pattern.predicates``) maps tuple attribute references to
+variables with conventional names:
+
+- ``price@0``   — the attribute on the current tuple ``t``,
+- ``price@-1``  — the attribute on ``t.previous``,
+- ``price@0/price@-1`` — the Section 6 ratio variable used to linearize
+  atoms of the form ``X op C * Y`` over positive domains.
+
+The distinguished variable :data:`ZERO` denotes the constant 0, so the
+single-variable atom ``X op C`` is stored as ``X op ZERO + C`` and the GSW
+constraint graph needs no special cases for constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Domain(Enum):
+    """The value domain a variable ranges over."""
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A named constraint variable.
+
+    Variables are value objects: two variables with the same name and domain
+    are interchangeable.  Names are arbitrary non-empty strings.
+    """
+
+    name: str
+    domain: Domain = Domain.NUMERIC
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The constant-zero pseudo-variable used to encode ``X op C`` atoms.
+ZERO = Variable("__zero__")
+
+
+def ratio_variable(numerator: Variable, denominator: Variable) -> Variable:
+    """The Section 6 ratio variable ``Z = numerator / denominator``.
+
+    Two atoms mentioning the same ratio of attributes map to the same
+    variable, which is what lets GSW compare e.g. ``price < 0.98 * prev``
+    against ``price > 1.02 * prev`` (both become bounds on
+    ``price@0/price@-1``).  The rewrite is only sound when the denominator
+    is known positive (stock prices are); the caller asserts that.
+    """
+    if numerator.domain is not Domain.NUMERIC or denominator.domain is not Domain.NUMERIC:
+        raise ValueError("ratio variables require numeric operands")
+    return Variable(f"{numerator.name}/{denominator.name}")

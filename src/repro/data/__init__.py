@@ -1,0 +1,34 @@
+"""Synthetic datasets standing in for the paper's inputs.
+
+The paper evaluates on 25 years of DJIA daily closes and on stock quote
+tables.  Neither is shippable here, so this subpackage generates
+deterministic, seeded substitutes whose *shape statistics* (daily return
+volatility, frequency of >2% moves, run lengths of rises/falls) drive the
+OPS-vs-naive comparison exactly as the real data would — see DESIGN.md
+for the substitution argument.
+"""
+
+from repro.data.random_walk import (
+    geometric_walk,
+    regime_switching_walk,
+    runs_histogram,
+    sawtooth,
+)
+from repro.data.djia import synthetic_djia, djia_table
+from repro.data.quotes import quote_table, synthetic_quotes
+from repro.data.weather import synthetic_weather, weather_table
+from repro.data.planted import plant_double_bottoms
+
+__all__ = [
+    "geometric_walk",
+    "regime_switching_walk",
+    "sawtooth",
+    "runs_histogram",
+    "synthetic_djia",
+    "djia_table",
+    "quote_table",
+    "synthetic_quotes",
+    "synthetic_weather",
+    "weather_table",
+    "plant_double_bottoms",
+]

@@ -1,0 +1,83 @@
+"""Series with double-bottom occurrences planted at known positions.
+
+For verifying the Example 10 pipeline end to end: the background walk
+stays strictly inside the ±2% band (so the query's ``*Y`` element — a
+>2% drop — can never fire on noise), and complete relaxed double-bottom
+templates are spliced in at chosen positions.  The generator returns the
+ground truth, so tests can assert the query finds *exactly* the planted
+occurrences — a precision/recall experiment the paper's real-data setup
+cannot offer.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Day-over-day ratios of one relaxed double bottom, matching Example 10:
+#: drop >2%, flat run, rise >2%, flat run, drop >2%, flat run, rise >2%,
+#: then a settling day inside the band.
+_TEMPLATE_RATIOS = (
+    0.965,          # *Y: the first drop
+    0.998, 1.001,   # *Z: flat
+    1.032,          # *T: rise
+    1.004, 0.997,   # *U: flat
+    0.960,          # *V: the second drop
+    1.001, 1.010,   # *W: flat
+    1.031,          # *R: rise
+    1.002,          # S: settles inside the band
+)
+
+#: Length of one planted occurrence in rows.
+TEMPLATE_LENGTH = len(_TEMPLATE_RATIOS)
+
+
+def plant_double_bottoms(
+    n: int,
+    positions: list[int],
+    start: float = 100.0,
+    noise: float = 0.008,
+    seed: int = 0,
+) -> tuple[list[float], list[int]]:
+    """A length-``n`` series with double bottoms starting at ``positions``.
+
+    ``positions`` index the anchor day (the query's X tuple); the pattern
+    body occupies the following ``TEMPLATE_LENGTH`` rows.  Positions must
+    leave room and not overlap (validated).  Returns
+    ``(prices, anchor_positions)``.
+
+    Background moves are drawn uniformly within ``±noise`` (default 0.8%,
+    safely inside the 2% band), so every >2% move in the series belongs
+    to a planted template.
+    """
+    if noise >= 0.019:
+        raise ValueError("noise must stay strictly inside the 2% band")
+    ordered = sorted(positions)
+    for position in ordered:
+        if position < 1 or position + TEMPLATE_LENGTH + 1 > n:
+            raise ValueError(f"position {position} does not fit in n={n}")
+    for earlier, later in zip(ordered, ordered[1:]):
+        if later <= earlier + TEMPLATE_LENGTH + 1:
+            raise ValueError(
+                f"positions {earlier} and {later} overlap "
+                f"(need {TEMPLATE_LENGTH + 1} rows apart)"
+            )
+    rng = random.Random(seed)
+    prices: list[float] = []
+    value = start
+    index = 0
+    plant_iter = iter(ordered)
+    next_plant = next(plant_iter, None)
+    while index < n:
+        if next_plant is not None and index == next_plant + 1:
+            # The anchor (position) was emitted by the background branch;
+            # now splice the template body.
+            for ratio in _TEMPLATE_RATIOS:
+                value = round(value * ratio, 4)
+                prices.append(value)
+                index += 1
+            next_plant = next(plant_iter, None)
+            continue
+        value = round(value * (1.0 + rng.uniform(-noise, noise)), 4)
+        prices.append(value)
+        index += 1
+    return prices, ordered

@@ -1,0 +1,75 @@
+"""Multi-stock quote tables (the paper's CREATE TABLE quote).
+
+    CREATE TABLE quote (name Varchar(8), date Date, price Integer)
+
+:func:`synthetic_quotes` generates per-stock random walks;
+:func:`quote_table` wraps them in an engine table.  Rows are emitted
+interleaved across stocks and shuffled within a small window, so CLUSTER
+BY / SEQUENCE BY actually have work to do (the paper's Figure 1 point:
+cluster groups are "not necessarily ordered").
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from typing import Sequence
+
+from repro.data.random_walk import geometric_walk
+from repro.engine.table import Schema, Table
+
+QUOTE_SCHEMA = Schema([("name", "str"), ("date", "date"), ("price", "float")])
+
+DEFAULT_TICKERS = ("IBM", "INTC", "MSFT", "GE", "XOM", "KO", "MRK", "PG")
+
+
+def synthetic_quotes(
+    tickers: Sequence[str] = DEFAULT_TICKERS,
+    days: int = 500,
+    start_date: _dt.date = _dt.date(1999, 1, 4),
+    seed: int = 7,
+) -> list[dict[str, object]]:
+    """Quote rows for several stocks, shuffled within a 5-day window."""
+    rng = random.Random(seed)
+    dates: list[_dt.date] = []
+    current = start_date
+    one = _dt.timedelta(days=1)
+    while len(dates) < days:
+        if current.weekday() < 5:
+            dates.append(current)
+        current += one
+    rows: list[dict[str, object]] = []
+    for index, ticker in enumerate(tickers):
+        start_price = 20.0 + 15.0 * index + rng.random() * 10.0
+        prices = geometric_walk(
+            n=days,
+            start=start_price,
+            drift=0.0002,
+            volatility=0.015,
+            shock_probability=0.015,
+            shock_scale=3.0,
+            seed=seed * 1000 + index,
+        )
+        rows.extend(
+            {"name": ticker, "date": day, "price": price}
+            for day, price in zip(dates, prices)
+        )
+    # Shuffle lightly so clusters arrive unordered (Figure 1).
+    for i in range(0, len(rows) - 5, 5):
+        window = rows[i : i + 5]
+        rng.shuffle(window)
+        rows[i : i + 5] = window
+    return rows
+
+
+def quote_table(
+    tickers: Sequence[str] = DEFAULT_TICKERS,
+    days: int = 500,
+    start_date: _dt.date = _dt.date(1999, 1, 4),
+    seed: int = 7,
+    name: str = "quote",
+) -> Table:
+    """The quote rows as an engine table."""
+    table = Table(name, QUOTE_SCHEMA)
+    table.insert_many(synthetic_quotes(tickers, days, start_date, seed))
+    return table

@@ -1,0 +1,101 @@
+"""Synthetic daily weather observations per station.
+
+The paper's introduction motivates SQL-TS with patterns "ranging from
+very simple ones, such as finding three consecutive sunny days" to
+meteorological event extraction [9].  This generator produces a
+multi-station daily table::
+
+    weather(station, date, sky, temp, rain)
+
+- ``sky``  — 'sunny' | 'cloudy' | 'rain' (a 3-state Markov chain, so
+  weather persists the way real weather does);
+- ``temp`` — daily mean, seasonal sine plus noise plus a sky effect;
+- ``rain`` — millimetres, positive only on rain days.
+
+Deterministic under its seed, like every generator in ``repro.data``.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import math
+import random
+from typing import Sequence
+
+from repro.engine.table import Schema, Table
+
+WEATHER_SCHEMA = Schema(
+    [
+        ("station", "str"),
+        ("date", "date"),
+        ("sky", "str"),
+        ("temp", "float"),
+        ("rain", "float"),
+    ]
+)
+
+DEFAULT_STATIONS = ("LAX", "SEA", "DEN", "MIA")
+
+#: sky state transition probabilities (rows sum to 1).
+_TRANSITIONS = {
+    "sunny": (("sunny", 0.70), ("cloudy", 0.22), ("rain", 0.08)),
+    "cloudy": (("sunny", 0.30), ("cloudy", 0.45), ("rain", 0.25)),
+    "rain": (("sunny", 0.20), ("cloudy", 0.45), ("rain", 0.35)),
+}
+
+_SKY_TEMP_EFFECT = {"sunny": 2.5, "cloudy": 0.0, "rain": -2.0}
+
+
+def _next_sky(rng: random.Random, current: str) -> str:
+    roll = rng.random()
+    cumulative = 0.0
+    for state, probability in _TRANSITIONS[current]:
+        cumulative += probability
+        if roll < cumulative:
+            return state
+    return _TRANSITIONS[current][-1][0]
+
+
+def synthetic_weather(
+    stations: Sequence[str] = DEFAULT_STATIONS,
+    days: int = 365,
+    start_date: _dt.date = _dt.date(2000, 1, 1),
+    seed: int = 42,
+) -> list[dict[str, object]]:
+    """Daily observations for several stations over ``days`` days."""
+    rows: list[dict[str, object]] = []
+    for index, station in enumerate(stations):
+        rng = random.Random(seed * 100 + index)
+        base_temp = 8.0 + 4.0 * index  # stations differ in climate
+        sky = "cloudy"
+        for offset in range(days):
+            day = start_date + _dt.timedelta(days=offset)
+            sky = _next_sky(rng, sky)
+            seasonal = 10.0 * math.sin(2 * math.pi * (offset - 80) / 365.25)
+            temp = round(
+                base_temp + seasonal + _SKY_TEMP_EFFECT[sky] + rng.gauss(0, 1.8), 1
+            )
+            rain = round(rng.uniform(1.0, 25.0), 1) if sky == "rain" else 0.0
+            rows.append(
+                {
+                    "station": station,
+                    "date": day,
+                    "sky": sky,
+                    "temp": temp,
+                    "rain": rain,
+                }
+            )
+    return rows
+
+
+def weather_table(
+    stations: Sequence[str] = DEFAULT_STATIONS,
+    days: int = 365,
+    start_date: _dt.date = _dt.date(2000, 1, 1),
+    seed: int = 42,
+    name: str = "weather",
+) -> Table:
+    """The observations as an engine table."""
+    table = Table(name, WEATHER_SCHEMA)
+    table.insert_many(synthetic_weather(stations, days, start_date, seed))
+    return table

@@ -1,0 +1,125 @@
+"""Canned SQL-TS workloads: every example query from the paper.
+
+Each constant is the query text exactly as the paper's example poses it
+(modulo whitespace); the benchmark harness and the test suite execute
+them through the full parser → analyzer → OPS pipeline.
+"""
+
+from __future__ import annotations
+
+# Example 1: two-day spike-and-drop.
+EXAMPLE_1 = """
+SELECT X.name
+FROM quote
+  CLUSTER BY name
+  SEQUENCE BY date
+  AS (X, Y, Z)
+WHERE Y.price > 1.15 * X.price
+  AND Z.price < 0.80 * Y.price
+"""
+
+# Example 2: maximal periods in which the price fell more than 50%.
+EXAMPLE_2 = """
+SELECT X.name, X.date AS start_date, Z.previous.date AS end_date
+FROM quote
+  CLUSTER BY name
+  SEQUENCE BY date
+  AS (X, *Y, Z)
+WHERE Y.price < Y.previous.price
+  AND Z.previous.price < 0.5 * X.price
+"""
+
+# Example 3: three consecutive closes at 10, 11, 15 (the KMP-able case).
+EXAMPLE_3 = """
+SELECT X.name
+FROM quote
+  CLUSTER BY name
+  SEQUENCE BY date
+  AS (X, Y, Z)
+WHERE X.price = 10 AND Y.price = 11 AND Z.price = 15
+"""
+
+# Example 4: two successive drops into 40..50, then two increases, the
+# first staying under 52 (the running example for theta/phi/S).
+EXAMPLE_4 = """
+SELECT X.date AS start_date, X.price, U.date AS end_date, U.price
+FROM quote
+  CLUSTER BY name
+  SEQUENCE BY date
+  AS (X, Y, Z, T, U)
+WHERE X.name='IBM'
+  AND Y.price < X.price
+  AND Z.price < Y.price
+  AND 40 < Z.price
+  AND Z.price < 50
+  AND T.price > Z.price
+  AND T.price < 52
+  AND T.price < U.price
+"""
+
+# Example 8: rise, fall, rise — all starred.
+EXAMPLE_8 = """
+SELECT X.name, FIRST(X).date AS sdate, LAST(Z).date AS edate
+FROM quote
+  CLUSTER BY name
+  SEQUENCE BY date
+  AS (*X, *Y, *Z)
+WHERE X.price > X.previous.price
+  AND Y.price < Y.previous.price
+  AND Z.price > Z.previous.price
+"""
+
+# Example 9: the four-period 30-40 range pattern (star-case running example).
+EXAMPLE_9 = """
+SELECT X.NEXT.date, X.NEXT.price, S.previous.date, S.previous.price
+FROM quote
+  CLUSTER BY name,
+  SEQUENCE BY date
+  AS (*X, Y, *Z, *T, U, *V, S)
+WHERE X.name='IBM'
+  AND X.price > X.previous.price
+  AND 30 < Y.price
+  AND Y.price < 40
+  AND Z.price < Z.previous.price
+  AND T.price > T.previous.price
+  AND 35 < U.price
+  AND U.price < 40
+  AND V.price < V.previous.price
+  AND S.price < 30
+"""
+
+# Example 10: the relaxed double-bottom on the DJIA (Section 7 headline).
+EXAMPLE_10 = """
+SELECT X.NEXT.date, X.NEXT.price, S.previous.date, S.previous.price
+FROM djia
+  SEQUENCE BY date
+  AS (X, *Y, *Z, *T, *U, *V, *W, *R, S)
+WHERE X.price >= 0.98 * X.previous.price
+  AND Y.price < 0.98 * Y.previous.price
+  AND 0.98 * Z.previous.price < Z.price
+  AND Z.price < 1.02 * Z.previous.price
+  AND T.price > 1.02 * T.previous.price
+  AND 0.98 * U.previous.price < U.price
+  AND U.price < 1.02 * U.previous.price
+  AND V.price < 0.98 * V.previous.price
+  AND 0.98 * W.previous.price < W.price
+  AND W.price < 1.02 * W.previous.price
+  AND R.price > 1.02 * R.previous.price
+  AND S.price <= 1.02 * S.previous.price
+"""
+
+ALL_EXAMPLES = {
+    "example_1": EXAMPLE_1,
+    "example_2": EXAMPLE_2,
+    "example_3": EXAMPLE_3,
+    "example_4": EXAMPLE_4,
+    "example_8": EXAMPLE_8,
+    "example_9": EXAMPLE_9,
+    "example_10": EXAMPLE_10,
+}
+
+#: The Figure 5 input sequence (paper Section 4.2.1).
+FIGURE5_SEQUENCE = (55, 50, 45, 57, 54, 50, 47, 49, 45, 42, 55, 57, 59, 60, 57)
+
+#: The Section 5 counter example sequence.
+STAR_COUNTER_SEQUENCE = (20, 21, 23, 24, 22, 20, 18, 15, 14, 18, 21)

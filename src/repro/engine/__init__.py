@@ -1,0 +1,34 @@
+"""A self-contained in-memory relational engine hosting SQL-TS.
+
+The paper runs SQL-TS inside a conventional DBMS, implemented "via
+user-defined aggregates that are capable of applying arbitrary SQL
+statements on input streams" [17].  This subpackage is that substrate,
+built from scratch:
+
+- typed tables with schema validation (:mod:`repro.engine.table`);
+- a catalog of named tables (:mod:`repro.engine.catalog`);
+- CLUSTER BY grouping and SEQUENCE BY sorting (:mod:`repro.engine.cluster`);
+- a streaming user-defined-aggregate framework, including the SQL-TS
+  pattern matcher expressed as a UDA (:mod:`repro.engine.aggregates`);
+- the query executor tying parser, analyzer, OPS compiler, and matcher
+  together (:mod:`repro.engine.executor`);
+- CSV import/export (:mod:`repro.engine.csv_io`).
+"""
+
+from repro.engine.table import Column, Schema, Table
+from repro.engine.catalog import Catalog
+from repro.engine.cluster import clusters_of
+from repro.engine.executor import ExecutionReport, Executor, execute
+from repro.engine.result import Result
+
+__all__ = [
+    "Column",
+    "Schema",
+    "Table",
+    "Catalog",
+    "clusters_of",
+    "Executor",
+    "ExecutionReport",
+    "execute",
+    "Result",
+]

@@ -1,0 +1,45 @@
+"""The table catalog: name -> Table registry used by the executor."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.table import Table
+from repro.errors import ExecutionError
+
+
+class Catalog:
+    """A flat namespace of tables."""
+
+    __slots__ = ("_tables",)
+
+    def __init__(self, tables: tuple[Table, ...] | list[Table] = ()):
+        self._tables: dict[str, Table] = {}
+        for table in tables:
+            self.register(table)
+
+    def register(self, table: Table) -> Table:
+        if table.name in self._tables:
+            raise ExecutionError(f"table {table.name!r} already registered")
+        self._tables[table.name] = table
+        return table
+
+    def drop(self, name: str) -> None:
+        if name not in self._tables:
+            raise ExecutionError(f"no table named {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise ExecutionError(f"no table named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)

@@ -1,0 +1,44 @@
+"""CLUSTER BY grouping and SEQUENCE BY sorting (paper Figure 1).
+
+"Rows are grouped by their CLUSTER BY attribute(s) (not necessarily
+ordered), and data in each group are sorted by their SEQUENCE BY
+attribute(s)."  Clusters are yielded in first-appearance order of their
+key; with no CLUSTER BY the whole table is a single cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.engine.table import Table
+from repro.errors import ExecutionError
+
+
+def clusters_of(
+    table: Table,
+    cluster_by: Sequence[str],
+    sequence_by: Sequence[str],
+) -> Iterator[tuple[tuple[object, ...], list[dict[str, object]]]]:
+    """Yield ``(key, sorted_rows)`` per cluster.
+
+    ``key`` is the tuple of CLUSTER BY values (empty tuple when there is
+    no CLUSTER BY clause).
+    """
+    for name in (*cluster_by, *sequence_by):
+        if name not in table.schema:
+            raise ExecutionError(
+                f"table {table.name!r} has no column {name!r} "
+                "(referenced by CLUSTER BY / SEQUENCE BY)"
+            )
+    groups: dict[tuple[object, ...], list[dict[str, object]]] = {}
+    for row in table:
+        key = tuple(row[name] for name in cluster_by)
+        groups.setdefault(key, []).append(row)
+    for key, rows in groups.items():
+        if sequence_by:
+            rows = sorted(rows, key=lambda row: _sort_key(row, sequence_by))
+        yield key, rows
+
+
+def _sort_key(row: Mapping[str, object], sequence_by: Sequence[str]) -> tuple:
+    return tuple(row[name] for name in sequence_by)

@@ -1,0 +1,62 @@
+"""CSV import/export for tables.
+
+Values are converted according to the schema: ``int`` and ``float`` via
+the obvious constructors, ``date`` via ISO-8601 (``YYYY-MM-DD``).
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime as _dt
+from pathlib import Path
+from typing import Union
+
+from repro.engine.table import Schema, Table
+from repro.errors import SchemaError
+
+
+def _parse(value: str, type_name: str) -> object:
+    if type_name == "str":
+        return value
+    if type_name == "int":
+        return int(value)
+    if type_name == "float":
+        return float(value)
+    if type_name == "date":
+        return _dt.date.fromisoformat(value)
+    raise SchemaError(f"unknown column type {type_name!r}")
+
+
+def _render(value: object) -> str:
+    if isinstance(value, _dt.date):
+        return value.isoformat()
+    return str(value)
+
+
+def load_csv(path: Union[str, Path], name: str, schema: Schema) -> Table:
+    """Load a CSV file (with header row) into a new table."""
+    table = Table(name, schema)
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise SchemaError(f"{path}: empty CSV file")
+        missing = set(schema.names) - set(reader.fieldnames)
+        if missing:
+            raise SchemaError(f"{path}: missing columns {sorted(missing)}")
+        for record in reader:
+            table.insert(
+                {
+                    column.name: _parse(record[column.name], column.type)
+                    for column in schema.columns
+                }
+            )
+    return table
+
+
+def save_csv(table: Table, path: Union[str, Path]) -> None:
+    """Write a table to CSV with a header row."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.schema.names)
+        for row in table:
+            writer.writerow([_render(row[name]) for name in table.schema.names])

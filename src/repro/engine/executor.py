@@ -1,0 +1,171 @@
+"""The SQL-TS query executor.
+
+Ties the whole stack together: parse → analyze → compile the pattern with
+OPS → for every cluster, apply the hoisted cluster filter and run the
+configured matcher via the UDA substrate → evaluate the SELECT items on
+each match.
+
+The matcher is pluggable (``"ops"`` — the default, star-capable OPS
+runtime — or ``"naive"``), and an :class:`~repro.match.base.Instrumentation`
+can be threaded through to count predicate evaluations, which is how the
+benchmark harness reproduces the paper's speedup numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.engine.aggregates import PatternSearchAggregate, apply_aggregate
+from repro.engine.catalog import Catalog
+from repro.engine.cluster import clusters_of
+from repro.engine.result import Result
+from repro.errors import ExecutionError
+from repro.match.backtracking import BacktrackingMatcher
+from repro.match.base import Instrumentation, Match, Matcher
+from repro.match.naive import NaiveMatcher
+from repro.match.ops_star import OpsStarMatcher
+from repro.pattern.compiler import CompiledPattern, compile_pattern
+from repro.pattern.predicates import AttributeDomains
+from repro.sqlts import ast
+from repro.sqlts.expressions import evaluate_condition, evaluate_expr
+from repro.sqlts.parser import parse_query
+from repro.sqlts.semantic import AnalyzedQuery, analyze
+
+MATCHERS: dict[str, type] = {
+    "ops": OpsStarMatcher,
+    "naive": NaiveMatcher,
+    "backtracking": BacktrackingMatcher,
+}
+
+
+@dataclass
+class ExecutionReport:
+    """Execution statistics alongside the compiled plan."""
+
+    matcher: str
+    clusters: int
+    clusters_searched: int
+    rows_scanned: int
+    predicate_tests: int
+    matches: int
+    pattern: CompiledPattern
+
+
+class Executor:
+    """Executes SQL-TS queries against a catalog of tables."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        domains: Optional[AttributeDomains] = None,
+        matcher: Union[str, Matcher] = "ops",
+    ):
+        self._catalog = catalog
+        self._domains = domains if domains is not None else AttributeDomains.none()
+        self._matcher_name, self._matcher = _resolve_matcher(matcher)
+
+    def prepare(self, query: Union[str, ast.Query]) -> tuple[AnalyzedQuery, CompiledPattern]:
+        """Parse, analyze, and OPS-compile a query without running it."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        analyzed = analyze(parsed, self._domains)
+        return analyzed, compile_pattern(analyzed.spec)
+
+    def execute(
+        self,
+        query: Union[str, ast.Query],
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> Result:
+        result, _ = self.execute_with_report(query, instrumentation)
+        return result
+
+    def execute_with_report(
+        self,
+        query: Union[str, ast.Query],
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> tuple[Result, ExecutionReport]:
+        analyzed, compiled = self.prepare(query)
+        instrumentation = instrumentation or Instrumentation()
+        table = self._catalog.table(analyzed.table)
+        columns = [
+            item.output_name(position)
+            for position, item in enumerate(analyzed.select, start=1)
+        ]
+        output_rows: list[tuple] = []
+        clusters = 0
+        searched = 0
+        scanned = 0
+        match_count = 0
+        for _, rows in clusters_of(table, analyzed.cluster_by, analyzed.sequence_by):
+            clusters += 1
+            if not _cluster_passes(analyzed, rows):
+                continue
+            searched += 1
+            scanned += len(rows)
+            aggregate = PatternSearchAggregate(compiled, self._matcher, instrumentation)
+            matches = apply_aggregate(aggregate, rows)
+            for match in matches:
+                match_count += 1
+                output_rows.append(_project(analyzed, rows, match))
+        report = ExecutionReport(
+            matcher=self._matcher_name,
+            clusters=clusters,
+            clusters_searched=searched,
+            rows_scanned=scanned,
+            predicate_tests=instrumentation.tests,
+            matches=match_count,
+            pattern=compiled,
+        )
+        return Result(columns, output_rows), report
+
+
+def _resolve_matcher(matcher: Union[str, Matcher]) -> tuple[str, Matcher]:
+    if isinstance(matcher, str):
+        try:
+            return matcher, MATCHERS[matcher]()
+        except KeyError:
+            raise ExecutionError(
+                f"unknown matcher {matcher!r} (choose from {sorted(MATCHERS)})"
+            ) from None
+    return type(matcher).__name__, matcher
+
+
+def _cluster_passes(analyzed: AnalyzedQuery, rows: list[dict[str, object]]) -> bool:
+    """Evaluate the hoisted cluster-invariant conditions on this cluster.
+
+    The conditions only reference CLUSTER BY attributes, which are
+    constant within the cluster, so binding every pattern variable to the
+    first row is exact.
+    """
+    if not analyzed.cluster_filter:
+        return True
+    if not rows:
+        return False
+    bindings = {name: (0, 0) for name in analyzed.spec.names}
+    return all(
+        evaluate_condition(condition, rows, bindings, analyzed.stars)
+        for condition in analyzed.cluster_filter
+    )
+
+
+def _project(
+    analyzed: AnalyzedQuery, rows: list[dict[str, object]], match: Match
+) -> tuple:
+    bindings = {name: (span.start, span.end) for name, span in match.bindings().items()}
+    return tuple(
+        evaluate_expr(item.expr, rows, bindings, analyzed.stars)
+        for item in analyzed.select
+    )
+
+
+def execute(
+    query: Union[str, ast.Query],
+    catalog: Catalog,
+    domains: Optional[AttributeDomains] = None,
+    matcher: Union[str, Matcher] = "ops",
+    instrumentation: Optional[Instrumentation] = None,
+) -> Result:
+    """One-shot convenience wrapper around :class:`Executor`."""
+    return Executor(catalog, domains=domains, matcher=matcher).execute(
+        query, instrumentation
+    )

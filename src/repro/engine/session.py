@@ -1,0 +1,119 @@
+"""A statement session: CREATE TABLE, INSERT, and SQL-TS queries together.
+
+:class:`Session` is the miniature-database front door: feed it statement
+text (single statements or ``;``-separated scripts) and it maintains the
+catalog, loads data, and executes pattern queries::
+
+    session = Session(domains=AttributeDomains.prices())
+    session.execute("CREATE TABLE quote (name Varchar(8), date Date, price Real)")
+    session.execute("INSERT INTO quote VALUES ('IBM', '1999-01-25', 100.0)")
+    result = session.execute("SELECT ... FROM quote ... AS (X, Y) WHERE ...")
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Executor
+from repro.engine.result import Result
+from repro.engine.table import Table
+from repro.errors import ExecutionError
+from repro.match.base import Instrumentation, Matcher
+from repro.pattern.predicates import AttributeDomains
+from repro.sqlts.ddl import (
+    coerce_value,
+    parse_create_table,
+    parse_insert,
+    statement_kind,
+)
+
+
+class Session:
+    """Holds a catalog and executes statements against it."""
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        domains: Optional[AttributeDomains] = None,
+        matcher: Union[str, Matcher] = "ops",
+    ):
+        self.catalog = catalog if catalog is not None else Catalog()
+        self._executor = Executor(self.catalog, domains=domains, matcher=matcher)
+
+    def execute(
+        self,
+        statement: str,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> Optional[Result]:
+        """Execute one statement; queries return a Result, DDL/DML None."""
+        kind = statement_kind(statement)
+        if kind == "create":
+            self._create(statement)
+            return None
+        if kind == "insert":
+            self._insert(statement)
+            return None
+        return self._executor.execute(statement, instrumentation)
+
+    def run_script(self, script: str) -> list[Result]:
+        """Execute a ``;``-separated script; returns the query results."""
+        results = []
+        for statement in split_statements(script):
+            result = self.execute(statement)
+            if result is not None:
+                results.append(result)
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _create(self, statement: str) -> None:
+        parsed = parse_create_table(statement)
+        self.catalog.register(Table(parsed.name, parsed.columns))
+
+    def _insert(self, statement: str) -> None:
+        parsed = parse_insert(statement)
+        table = self.catalog.table(parsed.table)
+        schema = table.schema
+        columns = parsed.columns if parsed.columns is not None else schema.names
+        for row_values in parsed.rows:
+            if len(row_values) != len(columns):
+                raise ExecutionError(
+                    f"INSERT row has {len(row_values)} values for "
+                    f"{len(columns)} columns"
+                )
+            row = {
+                column: coerce_value(value, schema.column(column).type)
+                for column, value in zip(columns, row_values)
+            }
+            table.insert(row)
+
+
+def split_statements(script: str) -> list[str]:
+    """Split a script on ``;`` outside string literals; drop blanks."""
+    statements: list[str] = []
+    current: list[str] = []
+    in_string = False
+    index = 0
+    while index < len(script):
+        char = script[index]
+        if in_string:
+            current.append(char)
+            if char == "'":
+                # '' is an escaped quote inside the literal.
+                if index + 1 < len(script) and script[index + 1] == "'":
+                    current.append("'")
+                    index += 1
+                else:
+                    in_string = False
+        elif char == "'":
+            in_string = True
+            current.append(char)
+        elif char == ";":
+            statements.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+        index += 1
+    statements.append("".join(current))
+    return [statement for statement in statements if statement.strip()]

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing parse errors, planning errors, and execution errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SqlTsSyntaxError(ReproError):
+    """Raised by the SQL-TS lexer or parser on malformed query text.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token when
+    they are known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class SemanticError(ReproError):
+    """Raised during name resolution / semantic analysis of a query."""
+
+
+class PlanningError(ReproError):
+    """Raised when the pattern compiler cannot build a valid plan."""
+
+
+class ExecutionError(ReproError):
+    """Raised at query runtime (bad data, missing columns, type errors)."""
+
+
+class SchemaError(ReproError):
+    """Raised for invalid table schemas or rows that violate a schema."""
+
+
+class ConstraintError(ReproError):
+    """Raised for malformed constraint atoms or unsupported operators."""

@@ -1,0 +1,16 @@
+"""Three-valued (Kleene) logic and triangular logic matrices.
+
+The OPS optimizer (Sadri & Zaniolo, PODS 2001, Section 4.2) reasons about
+pattern-element implications with the truth values ``1`` (true), ``0``
+(false), and ``U`` (unknown).  This subpackage provides:
+
+- :class:`~repro.logic.tribool.Tribool` — the three truth values with
+  Kleene conjunction/disjunction/negation;
+- :class:`~repro.logic.matrix.TriangularMatrix` — the lower-triangular
+  matrices theta, phi, and S used by the compile-time analysis.
+"""
+
+from repro.logic.tribool import FALSE, TRUE, UNKNOWN, Tribool
+from repro.logic.matrix import TriangularMatrix
+
+__all__ = ["Tribool", "TRUE", "FALSE", "UNKNOWN", "TriangularMatrix"]

@@ -1,0 +1,136 @@
+"""Lower-triangular three-valued matrices.
+
+The OPS compile-time analysis manipulates three lower-triangular matrices
+indexed by pattern positions (1-based, following the paper):
+
+- ``theta[j, k]`` (defined for ``j >= k``) — positive preconditions,
+- ``phi[j, k]``   (defined for ``j >= k``) — negative preconditions,
+- ``S[j, k]``     (defined for ``j >  k``) — shifted-pattern compatibility.
+
+:class:`TriangularMatrix` stores such a matrix densely and enforces the
+index domain, so the rest of the compiler cannot accidentally read an
+undefined entry.  Entries are :class:`~repro.logic.tribool.Tribool`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.logic.tribool import Tribool, TriboolLike, UNKNOWN
+
+
+class TriangularMatrix:
+    """A 1-based lower-triangular matrix of Tribool entries.
+
+    Parameters
+    ----------
+    size:
+        Number of rows/columns (the pattern length ``m``).
+    include_diagonal:
+        If True (theta, phi) entries ``(j, j)`` exist; if False (S, G_P)
+        only ``j > k`` entries exist.
+    fill:
+        Initial value for every defined entry (default ``U``).
+    """
+
+    __slots__ = ("_size", "_include_diagonal", "_cells")
+
+    def __init__(self, size: int, include_diagonal: bool = True, fill: TriboolLike = UNKNOWN):
+        if size < 0:
+            raise ValueError(f"matrix size must be non-negative, got {size}")
+        self._size = size
+        self._include_diagonal = include_diagonal
+        fill_value = Tribool.coerce(fill)
+        self._cells: dict[tuple[int, int], Tribool] = {
+            (j, k): fill_value for j, k in self._domain()
+        }
+
+    def _domain(self) -> Iterator[tuple[int, int]]:
+        lowest_offset = 0 if self._include_diagonal else 1
+        for j in range(1, self._size + 1):
+            for k in range(1, j + 1 - lowest_offset):
+                yield (j, k)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def include_diagonal(self) -> bool:
+        return self._include_diagonal
+
+    def _check(self, j: int, k: int) -> None:
+        if not (1 <= k <= j <= self._size):
+            raise IndexError(f"({j}, {k}) outside lower triangle of size {self._size}")
+        if not self._include_diagonal and j == k:
+            raise IndexError(f"({j}, {k}) is on the excluded diagonal")
+
+    def __getitem__(self, index: tuple[int, int]) -> Tribool:
+        j, k = index
+        self._check(j, k)
+        return self._cells[(j, k)]
+
+    def __setitem__(self, index: tuple[int, int], value: TriboolLike) -> None:
+        j, k = index
+        self._check(j, k)
+        self._cells[(j, k)] = Tribool.coerce(value)
+
+    def __contains__(self, index: tuple[int, int]) -> bool:
+        j, k = index
+        if not (1 <= k <= j <= self._size):
+            return False
+        return self._include_diagonal or j != k
+
+    def row(self, j: int) -> list[Tribool]:
+        """Entries of row ``j`` ordered by increasing column."""
+        last = j if self._include_diagonal else j - 1
+        return [self._cells[(j, k)] for k in range(1, last + 1)]
+
+    def cells(self) -> Iterator[tuple[int, int, Tribool]]:
+        """Iterate ``(j, k, value)`` over all defined entries."""
+        for (j, k), value in sorted(self._cells.items()):
+            yield j, k, value
+
+    @classmethod
+    def from_rows(
+        cls, rows: list[list[TriboolLike]], include_diagonal: bool = True
+    ) -> "TriangularMatrix":
+        """Build a matrix from paper-style row literals.
+
+        ``rows[0]`` is row 1.  Row ``j`` must have exactly ``j`` entries when
+        the diagonal is included, ``j - 1`` otherwise (row 1 is then empty).
+        """
+        matrix = cls(len(rows), include_diagonal=include_diagonal)
+        for j, row in enumerate(rows, start=1):
+            expected = j if include_diagonal else j - 1
+            if len(row) != expected:
+                raise ValueError(f"row {j} must have {expected} entries, got {len(row)}")
+            for k, value in enumerate(row, start=1):
+                matrix[j, k] = value
+        return matrix
+
+    def to_rows(self) -> list[list[str]]:
+        """Rows as lists of "0"/"1"/"U" strings (for asserting and printing)."""
+        result = []
+        for j in range(1, self._size + 1):
+            result.append([cell.name for cell in self.row(j)])
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TriangularMatrix):
+            return NotImplemented
+        return (
+            self._size == other._size
+            and self._include_diagonal == other._include_diagonal
+            and self._cells == other._cells
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._size, self._include_diagonal, tuple(sorted(self._cells.items()))))
+
+    def __repr__(self) -> str:
+        lines = []
+        for j in range(1, self._size + 1):
+            lines.append(" ".join(cell.name for cell in self.row(j)))
+        body = "\n  ".join(lines)
+        return f"TriangularMatrix(size={self._size},\n  {body}\n)"

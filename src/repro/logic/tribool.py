@@ -1,0 +1,140 @@
+"""Kleene three-valued logic.
+
+The paper's compile-time analysis (Section 4.2) uses "standard 3-valued
+logic, where ``not U = U``, ``U and 1 = U``, and ``U and 0 = 0``".  This is
+Kleene's strong logic of indeterminacy; :class:`Tribool` implements it with
+the Python operators ``&``, ``|``, and ``~``.
+
+``Tribool`` values are interned singletons, so identity comparison
+(``value is TRUE``) is safe, but ``==`` also works and additionally accepts
+the plain Python values ``True``/``False``/``1``/``0`` and the string
+``"U"`` for convenience when asserting against matrices transcribed from
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+TriboolLike = Union["Tribool", bool, int, str]
+
+
+class Tribool:
+    """One of the three Kleene truth values: true, false, or unknown."""
+
+    __slots__ = ("_name", "_rank")
+
+    _instances: dict[str, "Tribool"] = {}
+
+    def __new__(cls, name: str) -> "Tribool":
+        if name not in ("0", "1", "U"):
+            raise ValueError(f"invalid Tribool name: {name!r}")
+        existing = cls._instances.get(name)
+        if existing is not None:
+            return existing
+        instance = super().__new__(cls)
+        instance._name = name
+        # Rank orders information content for min/max style folds:
+        # FALSE < UNKNOWN < TRUE, matching Kleene conjunction as `min`.
+        instance._rank = {"0": 0, "U": 1, "1": 2}[name]
+        cls._instances[name] = instance
+        return instance
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def is_true(self) -> bool:
+        return self._name == "1"
+
+    @property
+    def is_false(self) -> bool:
+        return self._name == "0"
+
+    @property
+    def is_unknown(self) -> bool:
+        return self._name == "U"
+
+    @classmethod
+    def coerce(cls, value: TriboolLike) -> "Tribool":
+        """Convert a bool, 0/1 int, or "U"/"0"/"1" string to a Tribool."""
+        if isinstance(value, Tribool):
+            return value
+        if value is True or value == 1:
+            return TRUE
+        if value is False or value == 0:
+            return FALSE
+        if isinstance(value, str) and value.upper() == "U":
+            return UNKNOWN
+        if isinstance(value, str) and value in ("0", "1"):
+            return TRUE if value == "1" else FALSE
+        raise TypeError(f"cannot coerce {value!r} to Tribool")
+
+    def __and__(self, other: TriboolLike) -> "Tribool":
+        other = Tribool.coerce(other)
+        # Kleene conjunction is `min` under FALSE < UNKNOWN < TRUE.
+        return _BY_RANK[min(self._rank, other._rank)]
+
+    __rand__ = __and__
+
+    def __or__(self, other: TriboolLike) -> "Tribool":
+        other = Tribool.coerce(other)
+        return _BY_RANK[max(self._rank, other._rank)]
+
+    __ror__ = __or__
+
+    def __invert__(self) -> "Tribool":
+        if self is TRUE:
+            return FALSE
+        if self is FALSE:
+            return TRUE
+        return UNKNOWN
+
+    def __eq__(self, other: object) -> bool:
+        try:
+            return self is Tribool.coerce(other)  # type: ignore[arg-type]
+        except TypeError:
+            return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Tribool", self._name))
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "Tribool has no implicit truthiness; use .is_true / .is_false / "
+            ".is_unknown to branch on a three-valued result"
+        )
+
+    def __repr__(self) -> str:
+        return self._name
+
+
+TRUE = Tribool("1")
+FALSE = Tribool("0")
+UNKNOWN = Tribool("U")
+_BY_RANK = {0: FALSE, 1: UNKNOWN, 2: TRUE}
+
+
+def kleene_all(values: Iterable[TriboolLike]) -> Tribool:
+    """Kleene conjunction of an iterable (empty iterable yields TRUE).
+
+    Short-circuits on FALSE, which matters for the S-matrix computation
+    where a single 0 entry kills the whole shift.
+    """
+    result = TRUE
+    for value in values:
+        result = result & value
+        if result is FALSE:
+            return FALSE
+    return result
+
+
+def kleene_any(values: Iterable[TriboolLike]) -> Tribool:
+    """Kleene disjunction of an iterable (empty iterable yields FALSE)."""
+    result = FALSE
+    for value in values:
+        result = result | value
+        if result is TRUE:
+            return TRUE
+    return result

@@ -1,0 +1,39 @@
+"""Pattern-matching runtimes over tuple sequences.
+
+Three matchers share one interface (:func:`find_matches(rows, pattern)`):
+
+- :mod:`repro.match.naive` — restart-on-mismatch baseline (the paper's
+  comparison point);
+- :mod:`repro.match.ops` — the paper-literal OPS loop for star-free
+  patterns (Section 4.2.1), kept verbatim for the Figure 5 reproduction;
+- :mod:`repro.match.ops_star` — the unified OPS runtime with the
+  Section 5 count bookkeeping; handles star and star-free patterns alike
+  (the star-free case degenerates to the Section 4 formula).
+
+All matchers count predicate evaluations through
+:class:`~repro.match.base.Instrumentation` — the paper's performance
+metric — and can record the ``(i, j)`` path curve of Figure 5.
+
+:mod:`repro.match.text` hosts the classic string matchers (naive, KMP,
+Boyer–Moore, Karp–Rabin) referenced in Sections 3.1 and 8, and
+:mod:`repro.match.direction` the Section 8 forward/reverse heuristic.
+"""
+
+from repro.match.backtracking import BacktrackingMatcher
+from repro.match.base import Instrumentation, Match, Matcher, Span
+from repro.match.naive import NaiveMatcher
+from repro.match.ops import OpsMatcher
+from repro.match.ops_star import OpsStarMatcher
+from repro.match.streaming import OpsStreamMatcher
+
+__all__ = [
+    "Span",
+    "Match",
+    "Matcher",
+    "Instrumentation",
+    "NaiveMatcher",
+    "BacktrackingMatcher",
+    "OpsMatcher",
+    "OpsStarMatcher",
+    "OpsStreamMatcher",
+]

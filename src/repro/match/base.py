@@ -1,0 +1,103 @@
+"""Shared matcher types: spans, matches, instrumentation, the interface.
+
+The paper measures performance as "the number of times that an element of
+input is tested against a pattern element" (Section 7);
+:class:`Instrumentation` counts exactly those events, and can additionally
+record the ``(i, j)`` coordinates of every test to reproduce the path
+curves of Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Protocol, Sequence
+
+from repro.pattern.compiler import CompiledPattern
+from repro.pattern.predicates import ElementPredicate, EvalContext
+
+
+@dataclass(frozen=True)
+class Span:
+    """An inclusive range of input positions (0-based) bound to one element."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise ValueError(f"empty span {self.start}..{self.end}")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start + 1
+
+
+@dataclass(frozen=True)
+class Match:
+    """One pattern occurrence: overall extent plus per-element spans."""
+
+    start: int
+    end: int
+    spans: tuple[Span, ...]
+    names: tuple[str, ...]
+
+    def bindings(self) -> dict[str, Span]:
+        """Pattern-variable name -> matched span."""
+        return dict(zip(self.names, self.spans))
+
+    def span_of(self, name: str) -> Span:
+        try:
+            return self.spans[self.names.index(name)]
+        except ValueError:
+            raise KeyError(f"no pattern variable named {name!r}") from None
+
+
+class Instrumentation:
+    """Counts predicate tests; optionally records the (i, j) path curve.
+
+    ``trace`` entries are 1-based ``(i, j)`` pairs to match the paper's
+    Figure 5 axes.
+    """
+
+    __slots__ = ("tests", "trace")
+
+    def __init__(self, record_trace: bool = False):
+        self.tests = 0
+        self.trace: Optional[list[tuple[int, int]]] = [] if record_trace else None
+
+    def record(self, input_index: int, pattern_position: int) -> None:
+        """Note one test of input position (0-based) against element j (1-based)."""
+        self.tests += 1
+        if self.trace is not None:
+            self.trace.append((input_index + 1, pattern_position))
+
+    def __repr__(self) -> str:
+        traced = f", trace[{len(self.trace)}]" if self.trace is not None else ""
+        return f"Instrumentation(tests={self.tests}{traced})"
+
+
+class Matcher(Protocol):
+    """The common matcher interface."""
+
+    def find_matches(
+        self,
+        rows: Sequence[Mapping[str, object]],
+        pattern: CompiledPattern,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> list[Match]:
+        """All left-maximal, non-overlapping matches, in input order."""
+        ...
+
+
+def test_element(
+    predicate: ElementPredicate,
+    rows: Sequence[Mapping[str, object]],
+    index: int,
+    bindings: Mapping[str, tuple[int, int]],
+    pattern_position: int,
+    instrumentation: Optional[Instrumentation],
+) -> bool:
+    """Evaluate one element predicate on one input tuple, instrumented."""
+    if instrumentation is not None:
+        instrumentation.record(index, pattern_position)
+    return predicate.test(EvalContext(rows, index, bindings))

@@ -1,0 +1,197 @@
+"""The unified OPS runtime with star support (paper Section 5).
+
+The runtime keeps, per match attempt, the cumulative count array of the
+paper: ``counts[t]`` is the number of input tuples consumed by pattern
+elements 1..t of the current attempt (``counts[0] = 0``).  For star-free
+patterns ``counts[t] = t`` and every formula below collapses to the
+Section 4 arithmetic, so this matcher subsumes
+:class:`~repro.match.ops.OpsMatcher` (the test suite checks they agree).
+
+Transition rules (Section 5, "our search algorithm is generalized"):
+
+- input satisfies the element: consume it; a plain element then advances
+  the pattern cursor, a star element stays (greedy);
+- input fails a star element that has already consumed at least one tuple
+  in this attempt: the star run ends; advance the pattern cursor and
+  re-test the *same* input against the next element;
+- input fails otherwise: a genuine mismatch at position ``j`` — apply the
+  compiled ``shift``/``next``:
+
+    * ``next(j) = 0`` (i.e. ``shift(j) = j``): no shorter shift can work
+      and ``phi[j,1] = 0`` proves the failed tuple cannot start a match
+      either; restart the attempt at the following input position;
+    * otherwise the attempt restarts ``shift(j)`` *elements* later, i.e.
+      ``counts[shift(j)]`` input positions later, elements
+      ``1 .. next(j)-1`` of the new attempt are inherited as verified
+      (their consumption rebased from the old alignment), and checking
+      resumes at element ``next(j)`` with the input cursor at
+      ``attempt_start + counts[shift(j) + next(j) - 1]`` — the paper's
+      ``i - count(j-1) + count(shift(j)+next(j)-1)`` expressed from the
+      attempt origin.  The star-free special case ``next = j - shift + 1``
+      additionally counts the failed tuple itself as verified
+      (``phi = 1`` proved it satisfies element ``j - shift``), which is
+      what makes the formula land on ``i + 1``.
+
+After a success the attempt restarts fresh immediately after the match
+(left-maximal, non-overlapping semantics, identical to the naive
+baseline's).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.match.base import Instrumentation, Match, Span, test_element
+from repro.pattern.compiler import CompiledPattern
+
+
+class OpsStarMatcher:
+    """Optimized Pattern Search with the Section 5 count bookkeeping."""
+
+    def find_matches(
+        self,
+        rows: Sequence[Mapping[str, object]],
+        pattern: CompiledPattern,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> list[Match]:
+        runtime = _Run(rows, pattern, instrumentation)
+        return runtime.scan()
+
+
+class _Run:
+    """Mutable state of one left-to-right scan."""
+
+    def __init__(
+        self,
+        rows: Sequence[Mapping[str, object]],
+        pattern: CompiledPattern,
+        instrumentation: Optional[Instrumentation],
+    ):
+        self.rows = rows
+        self.pattern = pattern
+        self.instrumentation = instrumentation
+        self.elements = pattern.spec.elements
+        self.names = pattern.spec.names
+        self.shift = pattern.shift_next.shift
+        self.next_ = pattern.shift_next.next_
+        self.m = pattern.m
+        self.matches: list[Match] = []
+        self._reset_attempt(0)
+
+    def _reset_attempt(self, start: int) -> None:
+        self.attempt_start = start
+        self.i = start
+        self.j = 1
+        self.current_consumed = 0
+        self.counts = [0] * (self.m + 1)
+        self.spans: list[Span] = []
+        self.bindings: dict[str, tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+
+    def scan(self) -> list[Match]:
+        self.process(finished=True)
+        return self.matches
+
+    def process(self, finished: bool, lookahead: int = 0) -> None:
+        """Advance the scan as far as the available input allows.
+
+        ``finished=False`` (the streaming case) suspends instead of
+        concluding end-of-input: a predicate may peek ``lookahead`` rows
+        ahead (``.next`` navigation), so the current tuple is only tested
+        once ``i + lookahead`` rows exist — or the stream has finished,
+        at which point off-end navigation legitimately evaluates False.
+        """
+        while True:
+            if self.j > self.m:
+                self._record_match()
+                continue
+            element = self.elements[self.j - 1]
+            available = len(self.rows)
+            if self.i >= available or (
+                not finished and self.i + lookahead >= available
+            ):
+                if finished and self.i >= available:
+                    # End of input: only a pending final star run can
+                    # still complete the pattern.
+                    if (
+                        element.star
+                        and self.current_consumed > 0
+                        and self.j == self.m
+                    ):
+                        self._complete_element()
+                        self._record_match()
+                return
+            satisfied = test_element(
+                element.predicate, self.rows, self.i, self.bindings, self.j,
+                self.instrumentation,
+            )
+            if satisfied:
+                self.i += 1
+                self.current_consumed += 1
+                if not element.star:
+                    self._complete_element()
+            elif element.star and self.current_consumed > 0:
+                # The star run ends here; the same input tuple is re-tested
+                # against the next element on the following iteration.
+                self._complete_element()
+            else:
+                self._mismatch()
+
+    # ------------------------------------------------------------------
+
+    def _complete_element(self) -> None:
+        j = self.j
+        self.counts[j] = self.counts[j - 1] + self.current_consumed
+        span = Span(
+            self.attempt_start + self.counts[j - 1],
+            self.attempt_start + self.counts[j] - 1,
+        )
+        self.spans.append(span)
+        self.bindings[self.names[j - 1]] = (span.start, span.end)
+        self.j += 1
+        self.current_consumed = 0
+
+    def _record_match(self) -> None:
+        end = self.attempt_start + self.counts[self.m] - 1
+        self.matches.append(
+            Match(self.attempt_start, end, tuple(self.spans), self.names)
+        )
+        self._reset_attempt(end + 1)
+
+    def _mismatch(self) -> None:
+        """Apply the compiled shift/next after a genuine failure at j."""
+        j = self.j
+        nx = self.next_[j]
+        if nx == 0:
+            # shift(j) = j: the failed tuple provably cannot start a match.
+            self._reset_attempt(self.i + 1)
+            return
+        sh = self.shift[j]
+        consumed_by_shift = self.counts[sh]
+        new_start = self.attempt_start + consumed_by_shift
+        new_counts = [0] * (self.m + 1)
+        new_spans: list[Span] = []
+        new_bindings: dict[str, tuple[int, int]] = {}
+        for t in range(1, nx):
+            boundary = sh + t
+            if boundary <= j - 1:
+                new_counts[t] = self.counts[boundary] - consumed_by_shift
+            else:
+                # boundary == j (star-free next = j - shift + 1 case):
+                # phi = 1 verified the failed tuple against element j-shift,
+                # so it counts as consumed by the new attempt.
+                new_counts[t] = self.counts[j - 1] - consumed_by_shift + 1
+            span = Span(
+                new_start + new_counts[t - 1],
+                new_start + new_counts[t] - 1,
+            )
+            new_spans.append(span)
+            new_bindings[self.names[t - 1]] = (span.start, span.end)
+        self.attempt_start = new_start
+        self.i = new_start + new_counts[nx - 1]
+        self.j = nx
+        self.current_consumed = 0
+        self.counts = new_counts
+        self.spans = new_spans
+        self.bindings = new_bindings

@@ -1,0 +1,168 @@
+"""Push-based streaming OPS with a bounded look-back window.
+
+The paper deploys SQL-TS "via user-defined aggregates ... on input
+streams"; a real stream cannot be buffered whole.  OPS makes bounded
+buffering possible: after a mismatch the scan never revisits anything
+before the current attempt's origin, so rows older than
+
+    attempt_start + (most negative navigation offset in the pattern)
+
+can be discarded.  :class:`OpsStreamMatcher` exposes that as a push API:
+
+    matcher = OpsStreamMatcher(compiled_pattern)
+    for row in stream:
+        for match in matcher.push(row):
+            ...            # emitted as soon as they complete
+    trailing = matcher.finish()
+
+Matches carry absolute input positions, identical to the batch
+:class:`~repro.match.ops_star.OpsStarMatcher` (differential-tested).
+
+Trimming requires navigation offsets to be statically bounded; patterns
+with residual (opaque) conditions keep the full history instead, since a
+residual may navigate arbitrarily through its bindings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Optional
+
+from repro.match.base import Instrumentation, Match
+from repro.match.ops_star import _Run
+from repro.pattern.compiler import CompiledPattern
+from repro.pattern.predicates import (
+    ComparisonCondition,
+    Condition,
+    OrCondition,
+    StringEqualityCondition,
+)
+from repro.pattern.spec import PatternSpec
+
+
+def pattern_offsets(spec: PatternSpec) -> tuple[int, int, bool]:
+    """(most negative offset, most positive offset, has_opaque_conditions).
+
+    Offsets come from the fixed-offset conditions; any condition whose
+    navigation cannot be bounded statically sets the opaque flag.
+    """
+    low = 0
+    high = 0
+    opaque = False
+
+    def visit(condition: Condition) -> None:
+        nonlocal low, high, opaque
+        if isinstance(condition, ComparisonCondition):
+            for term in (condition.left, condition.right):
+                if term.attr is not None:
+                    low = min(low, term.attr.offset)
+                    high = max(high, term.attr.offset)
+        elif isinstance(condition, StringEqualityCondition):
+            low = min(low, condition.attr.offset)
+            high = max(high, condition.attr.offset)
+        elif isinstance(condition, OrCondition):
+            for branch in condition.branches:
+                for leaf in branch:
+                    visit(leaf)
+        else:
+            opaque = True
+
+    for element in spec:
+        for condition in element.predicate.conditions:
+            visit(condition)
+    return low, high, opaque
+
+
+class _Window:
+    """A list with absolute indexing whose head can be trimmed away.
+
+    Reading a trimmed position is a bug in the trimming logic, so it
+    raises ``RuntimeError`` (deliberately not ``LookupError``, which the
+    condition evaluators treat as benign off-end navigation).
+    """
+
+    __slots__ = ("_rows", "_base")
+
+    def __init__(self) -> None:
+        self._rows: list[Mapping[str, object]] = []
+        self._base = 0
+
+    def append(self, row: Mapping[str, object]) -> None:
+        self._rows.append(row)
+
+    def __len__(self) -> int:
+        return self._base + len(self._rows)
+
+    def __getitem__(self, index: int) -> Mapping[str, object]:
+        relative = index - self._base
+        if relative < 0:
+            raise RuntimeError(
+                f"streaming window read at trimmed position {index} "
+                f"(window starts at {self._base})"
+            )
+        return self._rows[relative]
+
+    def __iter__(self) -> Iterator[Mapping[str, object]]:
+        return iter(self._rows)
+
+    def trim_before(self, index: int) -> None:
+        """Forget rows strictly before ``index``."""
+        drop = index - self._base
+        if drop > 0:
+            del self._rows[:drop]
+            self._base = index
+
+    @property
+    def buffered(self) -> int:
+        return len(self._rows)
+
+
+class OpsStreamMatcher:
+    """Incremental OPS: push tuples, collect matches as they complete."""
+
+    def __init__(
+        self,
+        pattern: CompiledPattern,
+        instrumentation: Optional[Instrumentation] = None,
+        trim: bool = True,
+    ):
+        self._pattern = pattern
+        self._window = _Window()
+        self._run = _Run(self._window, pattern, instrumentation)
+        low, high, opaque = pattern_offsets(pattern.spec)
+        self._lookback = -low
+        self._lookahead = high
+        self._trim = trim and not opaque
+        self._emitted = 0
+        self._finished = False
+
+    def push(self, row: Mapping[str, object]) -> list[Match]:
+        """Feed one tuple; return matches completed by it."""
+        if self._finished:
+            raise RuntimeError("push() after finish()")
+        self._window.append(row)
+        self._run.process(finished=False, lookahead=self._lookahead)
+        if self._trim:
+            self._window.trim_before(self._run.attempt_start - self._lookback)
+        return self._drain()
+
+    def finish(self) -> list[Match]:
+        """Signal end of stream; return any trailing matches."""
+        if not self._finished:
+            self._finished = True
+            self._run.process(finished=True)
+        return self._drain()
+
+    def _drain(self) -> list[Match]:
+        fresh = self._run.matches[self._emitted :]
+        self._emitted = len(self._run.matches)
+        return fresh
+
+    @property
+    def matches(self) -> list[Match]:
+        """All matches emitted so far."""
+        return list(self._run.matches)
+
+    @property
+    def buffered_rows(self) -> int:
+        """Current look-back window size (for tests and monitoring)."""
+        return self._window.buffered

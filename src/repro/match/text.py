@@ -1,0 +1,214 @@
+"""Classic string-matching algorithms (paper Sections 3.1 and 8).
+
+The paper builds OPS on Knuth–Morris–Pratt and closes by comparing KMP
+against Boyer–Moore and Karp–Rabin as candidate bases for the same
+generalization.  This module implements all four over plain character
+strings, instrumented with a character-comparison counter so the
+Section 8 comparison can be regenerated:
+
+- :func:`naive_search`        — restart-on-mismatch;
+- :func:`kmp_search`          — with :func:`kmp_failure` (the paper's
+  ``next`` array, Section 3.1);
+- :func:`boyer_moore_search`  — bad-character + good-suffix rules;
+- :func:`karp_rabin_search`   — rolling-hash filtering with verification.
+
+All return the 0-based start offsets of every (possibly overlapping)
+occurrence and agree with each other (property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TextStats:
+    """Character-comparison counter (hash updates tracked separately)."""
+
+    comparisons: int = 0
+    hash_operations: int = 0
+
+
+def kmp_failure(pattern: str) -> list[int]:
+    """The KMP ``next`` array (1-based positions, next[0] unused).
+
+    ``next[j]`` is the pattern position to resume at after a mismatch at
+    position ``j``, per the Section 3.1 definition: the largest k < j with
+    ``p_1..p_{k-1} = p_{j-k+1}..p_{j-1}`` and ``p_k != p_j``; 0 if none.
+    """
+    m = len(pattern)
+    next_ = [0] * (m + 1)
+    if m == 0:
+        return next_
+    # Standard failure function f[j]: length of the longest proper
+    # prefix of p[:j] that is also a suffix.
+    f = [0] * (m + 1)
+    k = 0
+    for j in range(2, m + 1):
+        while k > 0 and pattern[j - 1] != pattern[k]:
+            k = f[k]
+        if pattern[j - 1] == pattern[k]:
+            k += 1
+        f[j] = k
+    next_[1] = 0
+    for j in range(2, m + 1):
+        k = f[j - 1] + 1  # candidate resume position
+        # Apply the KMP refinement: skip candidates equal to p_j.
+        while k > 0 and pattern[k - 1] == pattern[j - 1]:
+            k = next_[k]
+        next_[j] = k
+    return next_
+
+
+def kmp_search(text: str, pattern: str, stats: TextStats | None = None) -> list[int]:
+    """All occurrence offsets via Knuth–Morris–Pratt."""
+    if not pattern:
+        return list(range(len(text) + 1))
+    stats = stats if stats is not None else TextStats()
+    next_ = kmp_failure(pattern)
+    m, n = len(pattern), len(text)
+    result = []
+    i = j = 1
+    while i <= n:
+        while j > 0:
+            stats.comparisons += 1
+            if text[i - 1] == pattern[j - 1]:
+                break
+            j = next_[j]
+        i += 1
+        j += 1
+        if j > m:
+            result.append(i - 1 - m)
+            # Continue for overlapping occurrences: fall back as if the
+            # next position mismatched at j = m + 1 via the failure fn.
+            j = _success_resume(pattern, next_)
+    return result
+
+
+def _success_resume(pattern: str, next_: list[int]) -> int:
+    """Pattern position to resume at after a full match (overlap-aware)."""
+    m = len(pattern)
+    # Longest proper prefix of the whole pattern that is also a suffix.
+    k = 0
+    for length in range(m - 1, 0, -1):
+        if pattern[:length] == pattern[m - length :]:
+            k = length
+            break
+    return k + 1
+
+
+def naive_search(text: str, pattern: str, stats: TextStats | None = None) -> list[int]:
+    """All occurrence offsets by brute force."""
+    if not pattern:
+        return list(range(len(text) + 1))
+    stats = stats if stats is not None else TextStats()
+    m, n = len(pattern), len(text)
+    result = []
+    for start in range(n - m + 1):
+        matched = True
+        for offset in range(m):
+            stats.comparisons += 1
+            if text[start + offset] != pattern[offset]:
+                matched = False
+                break
+        if matched:
+            result.append(start)
+    return result
+
+
+def _bad_character_table(pattern: str) -> dict[str, int]:
+    return {ch: index for index, ch in enumerate(pattern)}
+
+
+def _good_suffix_table(pattern: str) -> list[int]:
+    """Good-suffix shifts via the standard border-position construction."""
+    m = len(pattern)
+    shift = [0] * (m + 1)
+    border = [0] * (m + 1)
+    i, j = m, m + 1
+    border[i] = j
+    while i > 0:
+        while j <= m and pattern[i - 1] != pattern[j - 1]:
+            if shift[j] == 0:
+                shift[j] = j - i
+            j = border[j]
+        i -= 1
+        j -= 1
+        border[i] = j
+    j = border[0]
+    for i in range(m + 1):
+        if shift[i] == 0:
+            shift[i] = j
+        if i == j:
+            j = border[j]
+    return shift
+
+
+def boyer_moore_search(text: str, pattern: str, stats: TextStats | None = None) -> list[int]:
+    """All occurrence offsets via Boyer–Moore (bad char + good suffix)."""
+    if not pattern:
+        return list(range(len(text) + 1))
+    stats = stats if stats is not None else TextStats()
+    m, n = len(pattern), len(text)
+    bad = _bad_character_table(pattern)
+    good = _good_suffix_table(pattern)
+    result = []
+    start = 0
+    while start <= n - m:
+        j = m - 1
+        while j >= 0:
+            stats.comparisons += 1
+            if text[start + j] != pattern[j]:
+                break
+            j -= 1
+        if j < 0:
+            result.append(start)
+            start += good[0]
+        else:
+            bad_shift = j - bad.get(text[start + j], -1)
+            start += max(good[j + 1], bad_shift, 1)
+    return result
+
+
+def karp_rabin_search(
+    text: str,
+    pattern: str,
+    stats: TextStats | None = None,
+    base: int = 257,
+    modulus: int = 1_000_000_007,
+) -> list[int]:
+    """All occurrence offsets via Karp–Rabin rolling hashes.
+
+    Hash updates are counted in ``stats.hash_operations``; character
+    comparisons only happen on hash hits (verification).
+    """
+    if not pattern:
+        return list(range(len(text) + 1))
+    stats = stats if stats is not None else TextStats()
+    m, n = len(pattern), len(text)
+    if m > n:
+        return []
+    pattern_hash = 0
+    window_hash = 0
+    high = pow(base, m - 1, modulus)
+    for index in range(m):
+        pattern_hash = (pattern_hash * base + ord(pattern[index])) % modulus
+        window_hash = (window_hash * base + ord(text[index])) % modulus
+        stats.hash_operations += 2
+    result = []
+    for start in range(n - m + 1):
+        if window_hash == pattern_hash:
+            matched = True
+            for offset in range(m):
+                stats.comparisons += 1
+                if text[start + offset] != pattern[offset]:
+                    matched = False
+                    break
+            if matched:
+                result.append(start)
+        if start < n - m:
+            window_hash = (
+                (window_hash - ord(text[start]) * high) * base + ord(text[start + m])
+            ) % modulus
+            stats.hash_operations += 1
+    return result

@@ -1,0 +1,48 @@
+"""Pattern representation and the OPS compile-time analysis.
+
+This subpackage turns a sequential pattern — an ordered list of predicate
+elements, some of which may be starred (repeating) — into a
+:class:`~repro.pattern.compiler.CompiledPattern` that carries everything
+the OPS runtime needs:
+
+- the three-valued precondition matrices **theta** and **phi**
+  (:mod:`repro.pattern.analysis`, paper Section 4.2);
+- for star-free patterns, the **S** matrix and the ``shift``/``next``
+  arrays (:mod:`repro.pattern.shift_next`, Section 4);
+- for patterns with stars, the **implication graphs** ``G_P`` / ``G_P^j``
+  and the generalized ``shift``/``next``
+  (:mod:`repro.pattern.star_graph`, :mod:`repro.pattern.star_shift_next`,
+  Section 5).
+"""
+
+from repro.pattern.spec import PatternElement, PatternSpec
+from repro.pattern.predicates import (
+    AttributeDomains,
+    ElementPredicate,
+    comparison,
+    predicate,
+    true_predicate,
+)
+from repro.pattern.analysis import build_phi, build_theta
+from repro.pattern.shift_next import build_s_matrix, compute_shift_next
+from repro.pattern.star_graph import ImplicationGraph
+from repro.pattern.star_shift_next import compute_star_shift_next
+from repro.pattern.compiler import CompiledPattern, compile_pattern
+
+__all__ = [
+    "PatternElement",
+    "PatternSpec",
+    "ElementPredicate",
+    "AttributeDomains",
+    "predicate",
+    "comparison",
+    "true_predicate",
+    "build_theta",
+    "build_phi",
+    "build_s_matrix",
+    "compute_shift_next",
+    "ImplicationGraph",
+    "compute_star_shift_next",
+    "CompiledPattern",
+    "compile_pattern",
+]

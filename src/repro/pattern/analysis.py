@@ -1,0 +1,109 @@
+"""Building the theta and phi precondition matrices (paper Section 4.2).
+
+For a pattern ``p_1 ... p_m`` the matrices capture all pairwise logical
+relations between elements *when evaluated on the same input tuple*:
+
+    theta[j, k] = 1  if p_j => p_k   and p_j is not identically false
+                  0  if p_j => NOT p_k
+                  U  otherwise
+
+    phi[j, k]   = 1  if NOT p_j => p_k
+                  0  if NOT p_j => NOT p_k   and p_j is not identically true
+                  U  otherwise
+
+Both are defined for ``j >= k``.  The decision procedures come from the
+GSW solver via each element's symbolic predicate; *residual* conditions
+(those without a symbolic form) restrict which definite values may be
+claimed:
+
+- an element with residuals can never be proven *implied* (no ``1`` in its
+  theta column / the relevant phi direction), because the prover cannot
+  see the whole predicate;
+- contradictions (``0`` in theta) remain provable from the symbolic parts
+  alone, since conjoining invisible extra conditions cannot make an
+  unsatisfiable conjunction satisfiable.
+
+All imprecision therefore collapses to ``U``, which the OPS runtime treats
+as "must re-check" — soundness is preserved, only the speedup shrinks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.logic.matrix import TriangularMatrix
+from repro.logic.tribool import FALSE, TRUE, UNKNOWN, Tribool
+from repro.pattern.predicates import ElementPredicate
+from repro.pattern.spec import PatternSpec
+
+
+def _theta_entry(pj: ElementPredicate, pk: ElementPredicate) -> Tribool:
+    """theta value for one ordered pair (see module docstring)."""
+    if pj is pk:
+        # p => p always holds; identically-false elements get 0 so the
+        # ambiguity the paper guards against cannot arise.
+        return TRUE if pj.symbolic.satisfiable() else FALSE
+    if not pj.symbolic.conjunction_satisfiable_with(pk.symbolic):
+        # The symbolic parts already contradict: p_j AND p_k is unsat no
+        # matter what the residuals add.  (This also covers p_j unsat,
+        # matching the paper's exclusion of identically-false premises
+        # from the 1 case.)
+        return FALSE
+    if not pk.has_residual and pj.symbolic.implies(pk.symbolic):
+        return TRUE
+    return UNKNOWN
+
+
+def _phi_entry(pj: ElementPredicate, pk: ElementPredicate) -> Tribool:
+    """phi value for one ordered pair (see module docstring)."""
+    if pj is pk:
+        # NOT p => NOT p always holds -> 0, unless p is a tautology, in
+        # which case NOT p is unsatisfiable and vacuously implies p -> 1.
+        return TRUE if pj.is_tautology() else FALSE
+    if (
+        not pj.has_residual
+        and not pk.has_residual
+        and pj.symbolic.negation_implies(pk.symbolic)
+    ):
+        return TRUE
+    if (
+        not pj.has_residual
+        and not pj.is_tautology()
+        and pk.symbolic.implies(pj.symbolic)
+    ):
+        # NOT p_j => NOT p_k is the contrapositive of p_k => p_j.  The
+        # premise's residuals (p_k's) only strengthen p_k, so proving the
+        # implication from p_k's symbolic part alone is sound; p_j must be
+        # residual-free for its side to be exactly the symbolic form.
+        return FALSE
+    return UNKNOWN
+
+
+def build_theta(pattern: PatternSpec | Sequence[ElementPredicate]) -> TriangularMatrix:
+    """The positive precondition matrix theta (lower-triangular, with diagonal)."""
+    predicates = _predicates_of(pattern)
+    m = len(predicates)
+    theta = TriangularMatrix(m, include_diagonal=True)
+    for j in range(1, m + 1):
+        for k in range(1, j + 1):
+            theta[j, k] = _theta_entry(predicates[j - 1], predicates[k - 1])
+    return theta
+
+
+def build_phi(pattern: PatternSpec | Sequence[ElementPredicate]) -> TriangularMatrix:
+    """The negative precondition matrix phi (lower-triangular, with diagonal)."""
+    predicates = _predicates_of(pattern)
+    m = len(predicates)
+    phi = TriangularMatrix(m, include_diagonal=True)
+    for j in range(1, m + 1):
+        for k in range(1, j + 1):
+            phi[j, k] = _phi_entry(predicates[j - 1], predicates[k - 1])
+    return phi
+
+
+def _predicates_of(
+    pattern: PatternSpec | Sequence[ElementPredicate],
+) -> list[ElementPredicate]:
+    if isinstance(pattern, PatternSpec):
+        return [e.predicate for e in pattern]
+    return list(pattern)

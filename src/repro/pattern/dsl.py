@@ -1,0 +1,127 @@
+"""A compact builder DSL for programmatic pattern construction.
+
+The SQL-TS text form is the primary interface, but library users
+composing patterns in code (benchmarks, screeners, streaming alerts)
+want something terser than assembling ``ComparisonCondition`` objects.
+This module provides named condition builders over a price-like
+attribute and a fluent :class:`PatternBuilder`::
+
+    from repro.pattern.dsl import PatternBuilder, rises, falls, below
+
+    pattern = (
+        PatternBuilder(attribute="price")
+        .element("X")                      # unconstrained anchor
+        .star("D", falls())                # one-or-more falling tuples
+        .element("R", rises(), below(30))  # reversal day under 30
+        .compile()
+    )
+
+All builders return plain :class:`~repro.pattern.predicates.Condition`
+objects, so they mix freely with hand-built ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.constraints.atoms import Op
+from repro.pattern.compiler import CompiledPattern, compile_pattern
+from repro.pattern.predicates import (
+    Attr,
+    AttributeDomains,
+    ComparisonCondition,
+    Condition,
+    ElementPredicate,
+    LinearTerm,
+    col,
+    comparison,
+)
+from repro.pattern.spec import PatternElement, PatternSpec
+
+_DEFAULT_ATTRIBUTE = "price"
+
+
+def _attr(attribute: str = _DEFAULT_ATTRIBUTE) -> Attr:
+    return col(attribute)
+
+
+def rises(attribute: str = _DEFAULT_ATTRIBUTE) -> Condition:
+    """value > previous value"""
+    a = _attr(attribute)
+    return comparison(a, ">", a.previous)
+
+
+def falls(attribute: str = _DEFAULT_ATTRIBUTE) -> Condition:
+    """value < previous value"""
+    a = _attr(attribute)
+    return comparison(a, "<", a.previous)
+
+
+def below(bound: float, attribute: str = _DEFAULT_ATTRIBUTE) -> Condition:
+    """value < bound"""
+    return comparison(_attr(attribute), "<", bound)
+
+
+def above(bound: float, attribute: str = _DEFAULT_ATTRIBUTE) -> Condition:
+    """value > bound"""
+    return comparison(_attr(attribute), ">", bound)
+
+
+def between(
+    low: float, high: float, attribute: str = _DEFAULT_ATTRIBUTE
+) -> tuple[Condition, Condition]:
+    """low < value < high (two conditions — unpack with ``*``)."""
+    a = _attr(attribute)
+    return comparison(low, "<", a), comparison(a, "<", high)
+
+
+def pct_change(
+    op: Union[Op, str], ratio: float, attribute: str = _DEFAULT_ATTRIBUTE
+) -> Condition:
+    """value op ratio * previous value — e.g. ``pct_change("<", 0.98)``
+    is the paper's ">2% drop" and ``pct_change(">", 1.02)`` its rise."""
+    a = _attr(attribute)
+    return comparison(a, op, ratio * a.previous)
+
+
+def equals(value: float, attribute: str = _DEFAULT_ATTRIBUTE) -> Condition:
+    """value = constant (the Example 3 / KMP-able shape)."""
+    return comparison(_attr(attribute), "=", value)
+
+
+class PatternBuilder:
+    """Fluent construction of a :class:`PatternSpec` / compiled plan."""
+
+    def __init__(
+        self,
+        attribute: str = _DEFAULT_ATTRIBUTE,
+        domains: Optional[AttributeDomains] = None,
+    ):
+        self._attribute = attribute
+        # Pattern attributes are prices in every paper workload; declare
+        # the chosen attribute positive unless told otherwise.
+        self._domains = (
+            domains if domains is not None else AttributeDomains({attribute})
+        )
+        self._elements: list[PatternElement] = []
+
+    def element(self, name: str, *conditions: Condition) -> "PatternBuilder":
+        """Append a plain (single-tuple) element."""
+        return self._append(name, conditions, star=False)
+
+    def star(self, name: str, *conditions: Condition) -> "PatternBuilder":
+        """Append a starred (one-or-more, maximal run) element."""
+        return self._append(name, conditions, star=True)
+
+    def _append(self, name, conditions, star) -> "PatternBuilder":
+        predicate = ElementPredicate(
+            conditions, domains=self._domains, label=name
+        )
+        self._elements.append(PatternElement(name, predicate, star=star))
+        return self
+
+    def spec(self) -> PatternSpec:
+        return PatternSpec(self._elements)
+
+    def compile(self, use_equivalence: bool = True) -> CompiledPattern:
+        return compile_pattern(self.spec(), use_equivalence=use_equivalence)

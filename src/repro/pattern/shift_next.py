@@ -1,0 +1,114 @@
+"""shift/next computation for star-free patterns (paper Section 4.2).
+
+From theta and phi we derive the matrix ``S`` describing whether the
+pattern, known satisfied up to (and excluding) position ``j``, can still
+be satisfied after being shifted right by ``k`` positions:
+
+    S[j, k] = theta[k+1, 1] AND theta[k+2, 2] AND ... AND theta[j-1, j-k-1]
+              AND phi[j, j-k]                                (1 <= k < j)
+
+using Kleene three-valued conjunction.  Then
+
+    shift(j) = j                     if every S[j, k] = 0
+             = min { k : S[j,k] != 0 }  otherwise
+
+    next(j)  = 0                     if shift(j) = j
+             = j - shift(j) + 1      if S[j, shift(j)] = 1
+             = min( { t : 1 <= t < j - shift(j), theta[shift(j)+t, t] = U }
+                    union { j - shift(j) }  if phi[j, j-shift(j)] = U )
+                                     otherwise.
+
+The third case's set is provably non-empty: ``S[j, shift(j)] = U`` means at
+least one conjunct is ``U``, and each conjunct contributes its index to the
+set.  We assert that instead of silently falling back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanningError
+from repro.logic.matrix import TriangularMatrix
+from repro.logic.tribool import FALSE, TRUE, UNKNOWN
+
+
+def build_s_matrix(theta: TriangularMatrix, phi: TriangularMatrix) -> TriangularMatrix:
+    """The shifted-pattern compatibility matrix S (defined for j > k)."""
+    if theta.size != phi.size:
+        raise PlanningError("theta and phi must have the same size")
+    m = theta.size
+    s = TriangularMatrix(m, include_diagonal=False)
+    for j in range(2, m + 1):
+        for k in range(1, j):
+            value = phi[j, j - k]
+            # theta[k+i, i] for i = 1 .. j-k-1 (equivalently rows k+1..j-1).
+            for i in range(1, j - k):
+                value = value & theta[k + i, i]
+                if value is FALSE:
+                    break
+            s[j, k] = value
+    return s
+
+
+@dataclass(frozen=True)
+class ShiftNext:
+    """The compiled shift/next arrays, 1-indexed by pattern position.
+
+    ``shift[0]`` and ``next_[0]`` are unused padding so ``shift[j]`` reads
+    exactly like the paper's ``shift(j)``.
+    """
+
+    shift: tuple[int, ...]
+    next_: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.shift) != len(self.next_):
+            raise PlanningError("shift and next arrays must have equal length")
+
+    @property
+    def m(self) -> int:
+        return len(self.shift) - 1
+
+
+def compute_shift_next(
+    theta: TriangularMatrix, phi: TriangularMatrix
+) -> tuple[ShiftNext, TriangularMatrix]:
+    """Compute (shift, next) for a star-free pattern; returns S as well."""
+    s = build_s_matrix(theta, phi)
+    m = theta.size
+    shift = [0] * (m + 1)
+    next_ = [0] * (m + 1)
+    for j in range(1, m + 1):
+        shift[j] = _shift_of(s, j)
+        next_[j] = _next_of(theta, phi, s, j, shift[j])
+    return ShiftNext(tuple(shift), tuple(next_)), s
+
+
+def _shift_of(s: TriangularMatrix, j: int) -> int:
+    for k in range(1, j):
+        if s[j, k] is not FALSE:
+            return k
+    return j
+
+
+def _next_of(
+    theta: TriangularMatrix,
+    phi: TriangularMatrix,
+    s: TriangularMatrix,
+    j: int,
+    shift: int,
+) -> int:
+    if shift == j:
+        return 0
+    if s[j, shift] is TRUE:
+        return j - shift + 1
+    candidates = [
+        t for t in range(1, j - shift) if theta[shift + t, t] is UNKNOWN
+    ]
+    if phi[j, j - shift] is UNKNOWN:
+        candidates.append(j - shift)
+    if not candidates:
+        raise PlanningError(
+            f"S[{j},{shift}] is U but no U conjunct found; matrices inconsistent"
+        )
+    return min(candidates)

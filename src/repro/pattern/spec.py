@@ -1,0 +1,77 @@
+"""Pattern specifications: the ordered element list of a sequence query.
+
+A :class:`PatternSpec` is the FROM-clause pattern of an SQL-TS query after
+semantic analysis: each :class:`PatternElement` has a name (the tuple
+variable), a star flag, and an :class:`~repro.pattern.predicates.ElementPredicate`
+collecting the WHERE conjuncts assigned to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import PlanningError
+from repro.pattern.predicates import ElementPredicate
+
+
+@dataclass(frozen=True)
+class PatternElement:
+    """One tuple variable of the pattern: name, star flag, predicate.
+
+    A starred element matches a *maximal run of one or more* consecutive
+    tuples satisfying the predicate (the paper's ``*Y`` — "one or more,
+    not zero or more!").
+    """
+
+    name: str
+    predicate: ElementPredicate
+    star: bool = False
+
+    def __str__(self) -> str:
+        return ("*" if self.star else "") + self.name
+
+
+class PatternSpec:
+    """An ordered, non-empty sequence of pattern elements.
+
+    Element positions are 1-based throughout the compiler, mirroring the
+    paper's notation (``p_1 ... p_m``).
+    """
+
+    __slots__ = ("_elements",)
+
+    def __init__(self, elements: Iterable[PatternElement]):
+        self._elements = tuple(elements)
+        if not self._elements:
+            raise PlanningError("a pattern needs at least one element")
+        names = [e.name for e in self._elements]
+        if len(set(names)) != len(names):
+            raise PlanningError(f"duplicate pattern variable names: {names}")
+
+    @property
+    def elements(self) -> tuple[PatternElement, ...]:
+        return self._elements
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[PatternElement]:
+        return iter(self._elements)
+
+    def element(self, j: int) -> PatternElement:
+        """The j-th element, 1-based as in the paper."""
+        if not 1 <= j <= len(self._elements):
+            raise IndexError(f"pattern position {j} out of range 1..{len(self._elements)}")
+        return self._elements[j - 1]
+
+    @property
+    def has_star(self) -> bool:
+        return any(e.star for e in self._elements)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(e.name for e in self._elements)
+
+    def __repr__(self) -> str:
+        return "PatternSpec(" + ", ".join(str(e) for e in self._elements) + ")"

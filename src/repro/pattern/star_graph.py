@@ -1,0 +1,198 @@
+"""Implication graphs for star patterns (paper Section 5).
+
+For patterns containing starred elements, the simple S-matrix argument no
+longer works: a starred element can absorb a variable number of input
+tuples, so "shift the pattern by k" no longer aligns elements one-to-one.
+The paper models the simultaneous progress of the original pattern (row
+index ``j``) and the pattern shifted back by ``j - k`` (column index
+``k``) as a graph over the theta matrix entries:
+
+- nodes are the strictly-lower-triangular positions ``(j, k)``, ``j > k``,
+  valued by ``theta[j, k]``;
+- arcs encode the legal simultaneous cursor moves, which depend on whether
+  the row/column elements are starred (and, for star/star nodes, on the
+  theta value):
+
+  =====================  =============================================
+  row starred, col starred, theta = U   arcs right, down, and diagonal
+  row starred, col starred, theta = 1   arcs down and diagonal
+  row starred, col plain                arcs right and diagonal
+  row plain,  col starred               arcs down and diagonal
+  row plain,  col plain                 arc diagonal only
+  =====================  =============================================
+
+  ("right" = ``(j, k+1)``, "down" = ``(j+1, k)``, "diagonal" =
+  ``(j+1, k+1)``.)
+
+- nodes valued 0 are removed outright (all incident arcs dropped): a
+  contradiction at any alignment kills every path through it.
+
+The *failure graph* ``G_P^j`` specializes the picture to "the pattern
+failed at element j": rows beyond ``j`` are dropped and row ``j``'s values
+are replaced by row ``j`` of phi (the knowledge that ``p_j`` did NOT hold).
+shift/next are then read off the failure graph by
+:mod:`repro.pattern.star_shift_next`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import PlanningError
+from repro.logic.matrix import TriangularMatrix
+from repro.logic.tribool import FALSE, TRUE, Tribool, UNKNOWN
+
+Node = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class FailureGraph:
+    """``G_P^j``: the implication graph specialized to a failure at j.
+
+    ``values`` holds only the surviving (non-zero) nodes; ``arcs`` maps
+    each surviving node to its surviving successors, in deterministic
+    (row, column) order.
+    """
+
+    j: int
+    values: Mapping[Node, Tribool]
+    arcs: Mapping[Node, tuple[Node, ...]]
+
+    def last_row_nodes(self) -> list[Node]:
+        return [node for node in self.values if node[0] == self.j]
+
+    def nodes_reaching_last_row(self) -> set[Node]:
+        """All nodes with a (possibly empty) path to a last-row node.
+
+        Computed by reverse traversal from the last row, as the paper
+        recommends over transitive closure: linear in the number of arcs.
+        """
+        reverse: dict[Node, list[Node]] = {node: [] for node in self.values}
+        for source, targets in self.arcs.items():
+            for target in targets:
+                reverse[target].append(source)
+        frontier = self.last_row_nodes()
+        reached = set(frontier)
+        while frontier:
+            node = frontier.pop()
+            for predecessor in reverse[node]:
+                if predecessor not in reached:
+                    reached.add(predecessor)
+                    frontier.append(predecessor)
+        return reached
+
+
+class ImplicationGraph:
+    """The pattern-level graph ``G_P`` plus a factory for failure graphs."""
+
+    def __init__(
+        self,
+        theta: TriangularMatrix,
+        phi: TriangularMatrix,
+        stars: Sequence[bool],
+        equivalent: frozenset[Node] = frozenset(),
+    ):
+        """``equivalent`` holds pairs (j, k), j > k, whose predicates are
+        provably equivalent.  For two *starred* equivalent elements the
+        maximal-run semantics forces their runs to end on the same tuple,
+        so the paper's rule-2 "down" arc (original advances while the
+        shifted star continues) is impossible and only the diagonal arc
+        remains — a strictly-sound refinement that makes such nodes
+        deterministic and unlocks long ``next`` skips on patterns with
+        repeated star predicates (e.g. alternating rise/fall staircases).
+        """
+        if theta.size != phi.size:
+            raise PlanningError("theta and phi must have the same size")
+        if len(stars) != theta.size:
+            raise PlanningError("stars must list one flag per pattern element")
+        self._theta = theta
+        self._phi = phi
+        # 1-based star flags (index 0 unused) to mirror the paper's indices.
+        self._stars = (False,) + tuple(bool(s) for s in stars)
+        self._m = theta.size
+        self._equivalent = equivalent
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    def star(self, position: int) -> bool:
+        return self._stars[position]
+
+    def base_values(self) -> dict[Node, Tribool]:
+        """The node values of ``G_P`` (theta without the diagonal)."""
+        return {
+            (j, k): self._theta[j, k]
+            for j in range(2, self._m + 1)
+            for k in range(1, j)
+        }
+
+    def _arc_targets(self, node: Node, value: Tribool) -> list[Node]:
+        """Raw arc targets from a node per the table in the module docstring.
+
+        Bounds are not checked here; the failure-graph builder filters
+        targets against its surviving node set.
+        """
+        j, k = node
+        right = (j, k + 1)
+        down = (j + 1, k)
+        diagonal = (j + 1, k + 1)
+        row_star = self._stars[j]
+        col_star = self._stars[k]
+        if row_star and col_star:
+            if value is UNKNOWN:
+                return [right, down, diagonal]
+            # theta = 1: every tuple satisfying p_j satisfies p_k, so the
+            # shifted star cannot end while the original star continues.
+            if (j, k) in self._equivalent:
+                # Equivalent predicates: the runs end on the same tuple,
+                # so the original cannot advance alone either.
+                return [diagonal]
+            return [down, diagonal]
+        if row_star:
+            return [right, diagonal]
+        if col_star:
+            return [down, diagonal]
+        return [diagonal]
+
+    def failure_graph(self, j: int) -> FailureGraph:
+        """Build ``G_P^j`` for a failure at pattern position ``j`` (j >= 2)."""
+        if not 2 <= j <= self._m:
+            raise PlanningError(f"failure graphs exist for 2 <= j <= m, got {j}")
+        values: dict[Node, Tribool] = {}
+        for row in range(2, j + 1):
+            for column in range(1, row):
+                value = self._phi[j, column] if row == j else self._theta[row, column]
+                if value is not FALSE:
+                    values[(row, column)] = value
+        arcs: dict[Node, tuple[Node, ...]] = {}
+        for node, value in values.items():
+            if node[0] == j:
+                arcs[node] = ()  # last row: terminal
+                continue
+            targets = [
+                target
+                for target in self._arc_targets(node, value)
+                if target[1] < target[0] and target[0] <= j and target in values
+            ]
+            arcs[node] = tuple(sorted(targets))
+        return FailureGraph(j=j, values=values, arcs=arcs)
+
+    def render(self, j: int | None = None) -> str:
+        """ASCII rendering of G_P (or G_P^j) for debugging and docs."""
+        if j is None:
+            values = self.base_values()
+            rows = range(2, self._m + 1)
+        else:
+            graph = self.failure_graph(j)
+            values = dict(graph.values)
+            rows = range(2, j + 1)
+        lines = []
+        for row in rows:
+            cells = []
+            for column in range(1, row):
+                value = values.get((row, column))
+                cells.append(value.name if value is not None else ".")
+            lines.append(f"row {row}: " + " ".join(cells))
+        return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""shift/next for star patterns (paper Section 5.1).
+
+Given the failure graph ``G_P^j``:
+
+- ``sigma(j)`` is the set of shifts ``s`` such that the node
+  ``(s+1, 1)`` exists and has a path to the last row of ``G_P^j``:
+  the pattern shifted by ``s`` can still succeed along some alignment.
+
+      shift(j) = min(sigma(j))            if sigma(j) is non-empty
+               = j - 1                    if sigma(j) empty, phi[j,1] != 0
+               = j                        otherwise
+
+- ``next(j)`` is read off a walk from node ``(shift(j)+1, 1)``: while the
+  current node is *deterministic* — it has value 1, exactly one outgoing
+  arc, and that arc's end-node has value 1 — follow the arc.  The first
+  non-deterministic node's column is ``next(j)``; reaching the last row
+  yields ``next(j) = j - shift(j)``.
+
+  We tighten the paper's walk in two ways, both of which can only shorten
+  ``next`` (extra re-checks), never lengthen it (skipped checks):
+
+  1. the *current* node's value must be 1 before its column is skipped,
+     guarding the corner case of a U-valued start node with a single
+     1-successor;
+  2. the single arc must be the **diagonal** one.  The runtime's input
+     re-positioning formula ``i - count(j-1) + count(shift+next-1)``
+     (Section 5) silently assumes that new element ``t`` inherits exactly
+     the input consumed by old element ``shift+t`` — an element-to-element
+     alignment that only diagonal moves preserve.  A single non-diagonal
+     arc (possible when a sibling target node is 0-valued) would let the
+     verified region end mid-star, where that count arithmetic no longer
+     describes the alignment.  Restricting the walk to diagonal arcs keeps
+     the formula exact; differential tests against the naive matcher
+     confirm equivalence.
+
+Failures at ``j = 1`` have no graph; they use ``shift(1) = 1``,
+``next(1) = 0`` exactly as in the star-free case.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanningError
+from repro.logic.tribool import FALSE, TRUE
+from repro.pattern.shift_next import ShiftNext
+from repro.pattern.star_graph import FailureGraph, ImplicationGraph
+
+
+def star_shift(graph: ImplicationGraph, j: int) -> tuple[int, FailureGraph | None]:
+    """shift(j) for a star pattern, along with the failure graph used."""
+    if j == 1:
+        return 1, None
+    failure = graph.failure_graph(j)
+    reaching = failure.nodes_reaching_last_row()
+    for s in range(1, j - 1):
+        if (s + 1, 1) in reaching:
+            return s, failure
+    # No theta start node reaches the last row; fall back on phi[j, 1].
+    phi_j1 = failure.values.get((j, 1))
+    if phi_j1 is not None and phi_j1 is not FALSE:
+        return j - 1, failure
+    return j, failure
+
+
+def star_next(
+    failure: FailureGraph | None,
+    j: int,
+    shift: int,
+    stars: tuple[bool, ...] = (),
+) -> int:
+    """next(j) for a star pattern via the deterministic-node walk.
+
+    ``stars`` is the 0-based star-flag tuple of the pattern; when
+    provided, a walk that reaches a 1-valued last-row node whose column
+    aligns a *non-star* element returns ``j - shift + 1``: the phi entry
+    proved the failed tuple satisfies that element, and a non-star
+    element consumes exactly one tuple, so checking resumes one element
+    (and one input position) further — the star-free ``S = 1`` case of
+    Section 4 recovered inside the star machinery.
+    """
+    if shift == j:
+        return 0
+    if failure is None:
+        raise PlanningError("a failure graph is required when shift(j) < j")
+    node = (shift + 1, 1)
+    if node not in failure.values:
+        raise PlanningError(
+            f"shift({j}) = {shift} selected but start node {node} is absent"
+        )
+    while True:
+        row, column = node
+        if row == failure.j:
+            aligned = j - shift
+            if (
+                failure.values[node] is TRUE
+                and stars
+                and not stars[aligned - 1]
+            ):
+                return aligned + 1
+            return aligned
+        if failure.values[node] is not TRUE:
+            return column
+        successors = failure.arcs[node]
+        if len(successors) != 1:
+            return column
+        successor = successors[0]
+        if successor != (row + 1, column + 1):
+            # Only diagonal moves preserve the element-to-element
+            # alignment the runtime count formula relies on (see module
+            # docstring); stop the walk before a non-diagonal arc.
+            return column
+        if failure.values[successor] is not TRUE:
+            # Determinism demands a 1-valued end node; a U successor
+            # stops the walk at the current column.
+            return column
+        node = successor
+
+
+def compute_star_shift_next(graph: ImplicationGraph) -> ShiftNext:
+    """All (shift(j), next(j)) pairs for a star pattern, 1-indexed."""
+    m = graph.m
+    stars = tuple(graph.star(position) for position in range(1, m + 1))
+    shift = [0] * (m + 1)
+    next_ = [0] * (m + 1)
+    for j in range(1, m + 1):
+        s, failure = star_shift(graph, j)
+        shift[j] = s
+        next_[j] = star_next(failure, j, s, stars)
+    return ShiftNext(tuple(shift), tuple(next_))

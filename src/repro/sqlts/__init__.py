@@ -1,0 +1,23 @@
+"""The SQL-TS language front-end (paper Section 2).
+
+SQL-TS — the Simple Query Language for Time Series — extends SQL's FROM
+clause with:
+
+- ``CLUSTER BY`` attributes: each cluster is processed as a separate
+  stream;
+- ``SEQUENCE BY`` attributes: the traversal order within a cluster;
+- an ``AS (X, *Y, Z)`` pattern of tuple variables, where a ``*`` marks a
+  repeating (one-or-more, maximal) element;
+- ``previous`` / ``next`` navigation on tuple variables and
+  ``FIRST()`` / ``LAST()`` accessors for starred variables.
+
+This subpackage provides the lexer, recursive-descent parser, AST, and
+the semantic analyzer that assigns WHERE conjuncts to pattern elements
+and produces a :class:`~repro.pattern.spec.PatternSpec` ready for the OPS
+compiler.
+"""
+
+from repro.sqlts.parser import parse_query
+from repro.sqlts.semantic import AnalyzedQuery, analyze
+
+__all__ = ["parse_query", "analyze", "AnalyzedQuery"]

@@ -1,0 +1,191 @@
+"""AST node definitions for SQL-TS queries.
+
+The tree mirrors the paper's surface syntax: a query has a SELECT list,
+one source table, optional CLUSTER BY / SEQUENCE BY attribute lists, an
+AS pattern of (possibly starred) tuple variables, and a WHERE condition.
+
+Expression nodes are deliberately small — numbers, strings, column paths
+with navigation, arithmetic, comparisons, and boolean connectives — which
+is the fragment SQL-TS queries in the paper use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NumberLit:
+    value: float
+
+    def __str__(self) -> str:
+        return f"{self.value:g}"
+
+
+@dataclass(frozen=True)
+class StringLit:
+    value: str
+
+    def __str__(self) -> str:
+        return f"'{self.value}'"
+
+
+@dataclass(frozen=True)
+class VarPath:
+    """A tuple-variable attribute reference with optional navigation.
+
+    ``var`` is the pattern variable; ``accessor`` is None, "first", or
+    "last" (for ``FIRST(X).attr`` / ``LAST(X).attr``); ``navigation`` is a
+    tuple of "previous"/"next" steps applied left to right; ``attr`` is
+    the final attribute name.  Examples::
+
+        X.price                  VarPath("X", None, (), "price")
+        Z.previous.date          VarPath("Z", None, ("previous",), "date")
+        FIRST(X).date            VarPath("X", "first", (), "date")
+        X.NEXT.price             VarPath("X", None, ("next",), "price")
+    """
+
+    var: str
+    accessor: Optional[str]
+    navigation: tuple[str, ...]
+    attr: str
+
+    def __str__(self) -> str:
+        base = f"{self.accessor.upper()}({self.var})" if self.accessor else self.var
+        steps = "".join(f".{step}" for step in self.navigation)
+        return f"{base}{steps}.{self.attr}"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Arithmetic: ``left op right`` with op one of ``+ - * /``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Neg:
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return f"(-{self.operand})"
+
+
+Expr = Union[NumberLit, StringLit, VarPath, BinOp, Neg]
+
+
+# ----------------------------------------------------------------------
+# Conditions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` with op one of ``= != < <= > >=``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class And:
+    left: "Cond"
+    right: "Cond"
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True)
+class Or:
+    left: "Cond"
+    right: "Cond"
+
+    def __str__(self) -> str:
+        return f"({self.left} OR {self.right})"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Cond"
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+Cond = Union[Comparison, And, Or, Not]
+
+
+def conjuncts(condition: Optional[Cond]) -> list[Cond]:
+    """Flatten top-level ANDs into a conjunct list (None -> empty)."""
+    if condition is None:
+        return []
+    if isinstance(condition, And):
+        return conjuncts(condition.left) + conjuncts(condition.right)
+    return [condition]
+
+
+# ----------------------------------------------------------------------
+# Query structure
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+    def output_name(self, position: int) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, VarPath):
+            return str(self.expr)
+        return f"col{position}"
+
+
+@dataclass(frozen=True)
+class PatternVar:
+    """One AS-clause entry: a tuple variable, possibly starred."""
+
+    name: str
+    star: bool = False
+
+    def __str__(self) -> str:
+        return ("*" if self.star else "") + self.name
+
+
+@dataclass(frozen=True)
+class Query:
+    select: tuple[SelectItem, ...]
+    table: str
+    cluster_by: tuple[str, ...]
+    sequence_by: tuple[str, ...]
+    pattern: tuple[PatternVar, ...]
+    where: Optional[Cond]
+
+    def __str__(self) -> str:
+        parts = ["SELECT " + ", ".join(str(item.expr) for item in self.select)]
+        parts.append(f"FROM {self.table}")
+        if self.cluster_by:
+            parts.append("CLUSTER BY " + ", ".join(self.cluster_by))
+        if self.sequence_by:
+            parts.append("SEQUENCE BY " + ", ".join(self.sequence_by))
+        parts.append("AS (" + ", ".join(str(v) for v in self.pattern) + ")")
+        if self.where is not None:
+            parts.append(f"WHERE {self.where}")
+        return "\n".join(parts)

@@ -1,0 +1,55 @@
+"""Token definitions for the SQL-TS lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class TokenType(Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"  # comparison and arithmetic operators
+    PUNCT = "punct"  # ( ) , .
+    STAR = "star"  # '*' — multiplication or pattern star, parser decides
+    EOF = "eof"
+
+
+#: Reserved words, matched case-insensitively and normalized to upper case.
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "CLUSTER",
+        "SEQUENCE",
+        "BY",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "FIRST",
+        "LAST",
+    }
+)
+
+#: Navigation attributes on tuple variables (case-insensitive).
+NAVIGATION = frozenset({"PREVIOUS", "NEXT"})
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its 1-based source position."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word.upper()
+
+    def __str__(self) -> str:
+        return f"{self.type.value}:{self.value!r}@{self.line}:{self.column}"

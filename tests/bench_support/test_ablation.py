@@ -1,0 +1,68 @@
+"""The ablated compilations used by the design-choice benchmarks."""
+
+from repro.bench.ablation import compile_blind
+from repro.logic.tribool import FALSE, TRUE, UNKNOWN
+from repro.match.naive import NaiveMatcher
+from repro.match.ops_star import OpsStarMatcher
+from repro.match.base import Instrumentation
+
+
+class TestBlindCompilation:
+    def test_matrices_are_all_unknown_off_diagonal(self, example4_pattern):
+        blind = compile_blind(example4_pattern)
+        for j in range(1, 5):
+            assert blind.theta[j, j] is TRUE
+            assert blind.phi[j, j] is FALSE
+            for k in range(1, j):
+                assert blind.theta[j, k] is UNKNOWN
+                assert blind.phi[j, k] is UNKNOWN
+
+    def test_blind_shifts_collapse_to_one(self, example4_pattern):
+        blind = compile_blind(example4_pattern)
+        assert blind.shift(1) == 1 and blind.next(1) == 0
+        for j in range(2, 5):
+            assert blind.shift(j) == 1
+            assert blind.next(j) == 1
+
+    def test_blind_star_plan(self, example9_pattern):
+        blind = compile_blind(example9_pattern)
+        assert blind.graph is not None
+        for j in range(2, blind.m + 1):
+            assert blind.shift(j) == 1
+            assert blind.next(j) == 1
+
+    def test_blind_plan_is_still_correct(self, example4_pattern, example9_pattern):
+        import random
+
+        from repro.pattern.compiler import compile_pattern
+
+        rng = random.Random(41)
+        for pattern in (example4_pattern, example9_pattern):
+            blind = compile_blind(pattern)
+            full = compile_pattern(pattern)
+            rows = []
+            value = 36.0
+            for _ in range(300):
+                value = max(22.0, min(55.0, value + rng.choice([-6, -2, -1, 1, 2, 6])))
+                rows.append({"price": value})
+            expected = NaiveMatcher().find_matches(rows, full)
+            assert OpsStarMatcher().find_matches(rows, blind) == expected
+
+    def test_blind_plan_costs_more(self, example4_pattern):
+        """Blindness must never be cheaper than the full compilation."""
+        import random
+
+        from repro.pattern.compiler import compile_pattern
+
+        rng = random.Random(43)
+        rows = []
+        value = 45.0
+        for _ in range(800):
+            value = max(30.0, min(60.0, value + rng.choice([-5, -2, -1, 1, 2, 5])))
+            rows.append({"price": value})
+        blind_inst, full_inst = Instrumentation(), Instrumentation()
+        OpsStarMatcher().find_matches(rows, compile_blind(example4_pattern), blind_inst)
+        OpsStarMatcher().find_matches(
+            rows, compile_pattern(example4_pattern), full_inst
+        )
+        assert blind_inst.tests >= full_inst.tests

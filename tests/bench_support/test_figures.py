@@ -1,0 +1,58 @@
+"""ASCII figure rendering."""
+
+from repro.bench.figures import (
+    path_curve_csv,
+    render_path_curve,
+    render_path_curves,
+    render_series_with_matches,
+)
+
+
+class TestPathCurves:
+    NAIVE = [(1, 1), (2, 2), (3, 3), (2, 1), (3, 1)]
+    OPS = [(1, 1), (2, 2), (3, 3), (3, 1)]
+
+    def test_single_curve_shape(self):
+        text = render_path_curve(self.NAIVE, "naive")
+        lines = text.splitlines()
+        assert lines[0] == "naive"
+        assert lines[1].startswith("j=3")
+        # Row j=1 has stars at steps 1, 4, 5.
+        j1_row = [line for line in lines if line.startswith("j=1")][0]
+        body = j1_row.split("|", 1)[1]
+        assert [k + 1 for k, c in enumerate(body) if c == "*"] == [1, 4, 5]
+
+    def test_empty_trace(self):
+        assert "(empty trace)" in render_path_curve([], "x")
+
+    def test_both_panels(self):
+        text = render_path_curves(self.NAIVE, self.OPS)
+        assert "naive search path" in text
+        assert "OPS search path" in text
+
+    def test_csv(self):
+        csv = path_curve_csv(self.NAIVE, self.OPS)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "step,algorithm,i,j"
+        assert len(lines) == 1 + len(self.NAIVE) + len(self.OPS)
+        assert "1,naive,1,1" in lines
+        assert "4,ops,3,1" in lines
+
+
+class TestSeriesRendering:
+    def test_markers_under_match_regions(self):
+        values = [1.0, 2.0, 3.0, 2.0, 1.0, 2.0, 3.0, 4.0]
+        text = render_series_with_matches(values, [(2, 4)], height=4)
+        lines = text.splitlines()
+        marker_row = lines[-2]
+        assert marker_row[2:5] == "^^^"
+        assert marker_row[0] == " " and marker_row[-1] == " "
+        assert "1 match regions" in lines[-1]
+
+    def test_downsampling_long_series(self):
+        values = [float(i % 50) for i in range(1000)]
+        text = render_series_with_matches(values, [], width=60)
+        assert max(len(line) for line in text.splitlines()) <= 60
+
+    def test_empty_series(self):
+        assert "(empty series)" in render_series_with_matches([], [])

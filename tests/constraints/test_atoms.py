@@ -1,0 +1,148 @@
+"""Atom construction, negation, evaluation, tautology/contradiction."""
+
+import pytest
+
+from repro.constraints.atoms import Atom, CategoricalAtom, Op, atom, cat_atom
+from repro.constraints.terms import Domain, Variable, ZERO, ratio_variable
+from repro.errors import ConstraintError
+
+X = Variable("x")
+Y = Variable("y")
+NAME = Variable("name", Domain.CATEGORICAL)
+
+
+class TestOp:
+    @pytest.mark.parametrize(
+        "op, negated",
+        [
+            (Op.EQ, Op.NE),
+            (Op.NE, Op.EQ),
+            (Op.LT, Op.GE),
+            (Op.LE, Op.GT),
+            (Op.GT, Op.LE),
+            (Op.GE, Op.LT),
+        ],
+    )
+    def test_negation_pairs(self, op, negated):
+        assert op.negated is negated
+        assert negated.negated is op
+
+    @pytest.mark.parametrize(
+        "op, flipped",
+        [(Op.EQ, Op.EQ), (Op.NE, Op.NE), (Op.LT, Op.GT), (Op.LE, Op.GE)],
+    )
+    def test_flip(self, op, flipped):
+        assert op.flipped is flipped
+
+    def test_holds(self):
+        assert Op.LT.holds(1, 2)
+        assert not Op.LT.holds(2, 2)
+        assert Op.LE.holds(2, 2)
+        assert Op.NE.holds(1, 2)
+        assert Op.EQ.holds(2, 2)
+        assert Op.GE.holds(2, 2)
+        assert Op.GT.holds(3, 2)
+
+
+class TestAtomConstruction:
+    def test_constant_form(self):
+        a = atom(X, "<", 50)
+        assert a.y == ZERO and a.c == 50.0 and a.op is Op.LT
+
+    def test_variable_form_with_offset(self):
+        a = atom(X, ">=", Y, 3)
+        assert a.y == Y and a.c == 3.0
+
+    def test_constant_plus_offset_folds(self):
+        a = atom(X, "<", 10, 5)
+        assert a.y == ZERO and a.c == 15.0
+
+    def test_zero_on_left_rejected(self):
+        with pytest.raises(ConstraintError):
+            Atom(ZERO, Op.LT, X)
+
+    def test_bad_rhs_rejected(self):
+        with pytest.raises(ConstraintError):
+            atom(X, "<", "fifty")  # type: ignore[arg-type]
+
+    def test_categorical_variable_in_numeric_atom_rejected(self):
+        with pytest.raises(ConstraintError):
+            atom(NAME, "<", 5)
+
+
+class TestAtomNegation:
+    def test_negate_is_involution(self):
+        a = atom(X, "<", Y, 2)
+        assert a.negate().negate() == a
+
+    def test_negate_operator(self):
+        assert atom(X, "<", 5).negate().op is Op.GE
+        assert atom(X, "=", 5).negate().op is Op.NE
+
+
+class TestAtomSemantics:
+    def test_evaluate_constant(self):
+        a = atom(X, "<", 5)
+        assert a.evaluate({X: 4.0, ZERO: 0.0})
+        assert not a.evaluate({X: 6.0, ZERO: 0.0})
+
+    def test_evaluate_two_variables(self):
+        a = atom(X, ">=", Y, 1)
+        assert a.evaluate({X: 5.0, Y: 4.0})
+        assert not a.evaluate({X: 4.5, Y: 4.0})
+
+    def test_self_comparison_tautology(self):
+        assert atom(X, "<=", X, 0.0).is_tautology()
+        assert atom(X, "<", X, 1.0).is_tautology()
+        assert not atom(X, "<", X, 0.0).is_tautology()
+        assert not atom(X, "<", Y).is_tautology()
+
+    def test_self_comparison_contradiction(self):
+        assert atom(X, "<", X, 0.0).is_contradiction()
+        assert atom(X, "=", X, 1.0).is_contradiction()
+        assert not atom(X, "=", X, 0.0).is_contradiction()
+
+    def test_variables_property(self):
+        assert atom(X, "<", 5).variables == frozenset({X})
+        assert atom(X, "<", Y).variables == frozenset({X, Y})
+
+    def test_str_forms(self):
+        assert str(atom(X, "<", 50)) == "x < 50"
+        assert str(atom(X, "<", Y)) == "x < y"
+        assert str(atom(X, "<", Y, 2)) == "x < y + 2"
+        assert str(atom(X, "<", Y, -2)) == "x < y - 2"
+
+
+class TestCategoricalAtoms:
+    def test_roundtrip(self):
+        a = cat_atom(NAME, "=", "IBM")
+        assert a.evaluate({NAME: "IBM"})
+        assert not a.evaluate({NAME: "INTC"})
+
+    def test_negate(self):
+        a = cat_atom(NAME, "=", "IBM").negate()
+        assert a.op is Op.NE
+        assert a.evaluate({NAME: "INTC"})
+
+    def test_ordering_op_rejected(self):
+        with pytest.raises(ConstraintError):
+            cat_atom(NAME, "<", "IBM")
+
+    def test_numeric_variable_rejected(self):
+        with pytest.raises(ConstraintError):
+            cat_atom(X, "=", "IBM")
+
+    def test_never_tautology_or_contradiction(self):
+        a = cat_atom(NAME, "=", "IBM")
+        assert not a.is_tautology()
+        assert not a.is_contradiction()
+
+
+class TestRatioVariable:
+    def test_naming_is_canonical(self):
+        assert ratio_variable(X, Y) == ratio_variable(X, Y)
+        assert ratio_variable(X, Y).name == "x/y"
+
+    def test_categorical_operand_rejected(self):
+        with pytest.raises(ValueError):
+            ratio_variable(NAME, Y)

@@ -1,0 +1,135 @@
+"""Multidimensional interval boxes (the [13] extension)."""
+
+import math
+
+from repro.constraints.boxes import Box, BoxSet
+from repro.constraints.intervals import Interval
+from repro.constraints.terms import Variable
+
+X = Variable("x")
+Y = Variable("y")
+T = Variable("t")
+
+
+def iv(low, high, low_closed=True, high_closed=True):
+    return Interval(low, high, low_closed, high_closed)
+
+
+class TestBox:
+    def test_unconstrained_contains_everything(self):
+        box = Box.unconstrained()
+        assert not box.empty
+        assert box.contains({X: 1e9, Y: -1e9})
+
+    def test_membership(self):
+        box = Box({X: iv(0, 10), Y: iv(0, 5)})
+        assert box.contains({X: 5.0, Y: 2.0})
+        assert not box.contains({X: 5.0, Y: 7.0})
+
+    def test_openness_respected(self):
+        box = Box({X: iv(0, 10, False, True)})
+        assert not box.contains({X: 0.0})
+        assert box.contains({X: 10.0})
+
+    def test_empty_dimension_empties_box(self):
+        assert Box({X: iv(5, 4)}).empty
+        assert not Box({X: iv(4, 5)}).empty
+
+    def test_intersection(self):
+        a = Box({X: iv(0, 10), Y: iv(0, 5)})
+        b = Box({X: iv(5, 20), T: iv(0, 1)})
+        c = a.intersect(b)
+        assert c.interval(X) == iv(5, 10)
+        assert c.interval(Y) == iv(0, 5)
+        assert c.interval(T) == iv(0, 1)
+
+    def test_subset(self):
+        inner = Box({X: iv(1, 2), Y: iv(1, 2)})
+        outer = Box({X: iv(0, 3)})  # Y unconstrained
+        assert inner.subset_of(outer)
+        assert not outer.subset_of(inner)
+
+    def test_empty_is_subset_of_anything(self):
+        assert Box({X: iv(5, 4)}).subset_of(Box({Y: iv(0, 1)}))
+
+    def test_disjoint(self):
+        a = Box({X: iv(0, 1)})
+        b = Box({X: iv(2, 3)})
+        c = Box({Y: iv(0, 1)})
+        assert a.disjoint_from(b)
+        assert not a.disjoint_from(c)  # different axes overlap
+
+    def test_touching_closed_boxes_not_disjoint(self):
+        a = Box({X: iv(0, 1)})
+        b = Box({X: iv(1, 2)})
+        assert not a.disjoint_from(b)
+        open_b = Box({X: iv(1, 2, False, True)})
+        assert a.disjoint_from(open_b)
+
+    def test_equality_ignores_redundant_full_axes(self):
+        from repro.constraints.intervals import FULL_LINE
+
+        assert Box({X: iv(0, 1)}) == Box({X: iv(0, 1), Y: FULL_LINE})
+
+
+class TestBoxSet:
+    def test_empty_boxes_dropped(self):
+        s = BoxSet([Box({X: iv(5, 4)}), Box({X: iv(0, 1)})])
+        assert len(s.boxes) == 1
+
+    def test_membership(self):
+        s = BoxSet([Box({X: iv(0, 1)}), Box({X: iv(5, 6)})])
+        assert s.contains({X: 0.5})
+        assert s.contains({X: 5.5})
+        assert not s.contains({X: 3.0})
+
+    def test_intersection(self):
+        left = BoxSet([Box({X: iv(0, 10)})])
+        right = BoxSet([Box({X: iv(5, 20)}), Box({X: iv(30, 40)})])
+        inter = left.intersect(right)
+        assert len(inter.boxes) == 1
+        assert inter.boxes[0].interval(X) == iv(5, 10)
+
+    def test_subset_single_witness(self):
+        small = BoxSet([Box({X: iv(1, 2), Y: iv(1, 2)})])
+        big = BoxSet([Box({X: iv(0, 3), Y: iv(0, 3)})])
+        assert small.subset_of(big)
+        assert not big.subset_of(small)
+
+    def test_subset_conservatism_documented(self):
+        """A union covering a box collectively is (soundly) not proven."""
+        whole = BoxSet([Box({X: iv(0, 10)})])
+        halves = BoxSet([Box({X: iv(0, 5)}), Box({X: iv(5, 10)})])
+        assert halves.subset_of(whole)
+        assert not whole.subset_of(halves)  # conservative, never wrong-True
+
+    def test_disjointness_exact(self):
+        storm_region = BoxSet(
+            [Box({X: iv(0, 10), Y: iv(0, 10), T: iv(0, 24)})]
+        )
+        sensor = BoxSet([Box({X: iv(20, 30), Y: iv(0, 10)})])
+        overlapping_sensor = BoxSet([Box({X: iv(5, 30)})])
+        assert storm_region.disjoint_from(sensor)
+        assert not storm_region.disjoint_from(overlapping_sensor)
+
+    def test_projection(self):
+        s = BoxSet([Box({X: iv(0, 1), Y: iv(0, 9)}), Box({X: iv(5, 6)})])
+        shadow = s.projection(X)
+        assert shadow.contains(0.5) and shadow.contains(5.5)
+        assert not shadow.contains(3.0)
+        # Unconstrained axis projects to the whole line.
+        assert s.projection(T).contains(math.pi * 1e6)
+
+
+class TestSpatioTemporalScenario:
+    """The Section 8 motivation: implication between spatio-temporal
+    predicates becomes box inclusion."""
+
+    def test_storm_cell_implication(self):
+        # "within the inner basin during hour 6-12"
+        specific = Box({X: iv(2, 4), Y: iv(2, 4), T: iv(6, 12)})
+        # "within the basin during the first day"
+        general = Box({X: iv(0, 10), Y: iv(0, 10), T: iv(0, 24)})
+        assert specific.subset_of(general)  # p_specific => p_general
+        night = Box({T: iv(30, 40)})
+        assert specific.disjoint_from(night)  # p_specific => NOT p_night

@@ -1,0 +1,107 @@
+"""Conjunction: the four queries theta/phi need, plus algebra."""
+
+import pytest
+
+from repro.constraints.atoms import atom, cat_atom
+from repro.constraints.conjunction import Conjunction, TRUE_CONJUNCTION
+from repro.constraints.terms import Domain, Variable
+
+A = Variable("a")
+B = Variable("b")
+NAME = Variable("name", Domain.CATEGORICAL)
+
+
+class TestBasics:
+    def test_empty_is_true(self):
+        assert TRUE_CONJUNCTION.satisfiable()
+        assert TRUE_CONJUNCTION.is_tautology()
+        assert len(TRUE_CONJUNCTION) == 0
+
+    def test_and_with_atom(self):
+        conj = TRUE_CONJUNCTION & atom(A, "<", 5)
+        assert len(conj) == 1
+
+    def test_and_with_conjunction(self):
+        left = Conjunction([atom(A, "<", 5)])
+        right = Conjunction([atom(B, ">", 2)])
+        assert len(left & right) == 2
+
+    def test_rejects_non_atoms(self):
+        with pytest.raises(TypeError):
+            Conjunction(["a < 5"])  # type: ignore[list-item]
+
+    def test_variables(self):
+        conj = Conjunction([atom(A, "<", B), cat_atom(NAME, "=", "IBM")])
+        assert conj.variables == frozenset({A, B, NAME})
+
+    def test_equality_and_hash(self):
+        a = Conjunction([atom(A, "<", 5)])
+        b = Conjunction([atom(A, "<", 5)])
+        assert a == b and hash(a) == hash(b)
+        assert a != Conjunction([atom(A, "<", 6)])
+
+
+class TestDecisions:
+    def test_satisfiable(self):
+        assert Conjunction([atom(A, ">", 1), atom(A, "<", 2)]).satisfiable()
+        assert not Conjunction([atom(A, ">", 2), atom(A, "<", 1)]).satisfiable()
+
+    def test_tautology_requires_all_atoms_tautological(self):
+        assert Conjunction([atom(A, "<=", A, 0), atom(A, "<", A, 1)]).is_tautology()
+        assert not Conjunction([atom(A, "<", 5)]).is_tautology()
+
+    def test_implies(self):
+        narrow = Conjunction([atom(A, ">", 40), atom(A, "<", 50)])
+        wide = Conjunction([atom(A, ">", 30)])
+        assert narrow.implies(wide)
+        assert not wide.implies(narrow)
+
+    def test_unsat_premise_implies_everything(self):
+        broken = Conjunction([atom(A, "<", A, 0)])
+        anything = Conjunction([atom(B, ">", 1000)])
+        assert broken.implies(anything)
+
+    def test_conjunction_satisfiable_with(self):
+        low = Conjunction([atom(A, "<", 5)])
+        high = Conjunction([atom(A, ">", 10)])
+        mid = Conjunction([atom(A, ">", 3)])
+        assert not low.conjunction_satisfiable_with(high)
+        assert low.conjunction_satisfiable_with(mid)
+
+    def test_negation_implies(self):
+        # NOT (a >= b)  =>  a < b
+        ge = Conjunction([atom(A, ">=", B)])
+        lt = Conjunction([atom(A, "<", B)])
+        assert ge.negation_implies(lt)
+        # NOT (a < b) is a >= b, which does not imply a > b.
+        gt = Conjunction([atom(A, ">", B)])
+        lt_conj = Conjunction([atom(A, "<", B)])
+        assert not lt_conj.negation_implies(gt)
+
+    def test_negation_implies_multi_atom_premise(self):
+        # NOT (a > 40 AND a < 50) = a <= 40 OR a >= 50; neither disjunct
+        # implies a > 30 (a could be 20), so the answer must be False.
+        band = Conjunction([atom(A, ">", 40), atom(A, "<", 50)])
+        wide = Conjunction([atom(A, ">", 30)])
+        assert not band.negation_implies(wide)
+
+    def test_negation_of_true_implies_everything(self):
+        anything = Conjunction([atom(A, ">", 1000)])
+        assert TRUE_CONJUNCTION.negation_implies(anything)
+
+    def test_equivalent(self):
+        a = Conjunction([atom(A, "<=", B)])
+        b = Conjunction([atom(B, ">=", A)])
+        assert a.equivalent(b)
+        assert not a.equivalent(Conjunction([atom(A, "<", B)]))
+
+
+class TestEvaluation:
+    def test_mixed_evaluation(self):
+        from repro.constraints.terms import ZERO
+
+        conj = Conjunction([atom(A, "<", B), cat_atom(NAME, "=", "IBM")])
+        good = {A: 1.0, B: 2.0, NAME: "IBM", ZERO: 0.0}
+        bad = {A: 3.0, B: 2.0, NAME: "IBM", ZERO: 0.0}
+        assert conj.evaluate(good)
+        assert not conj.evaluate(bad)

@@ -1,0 +1,117 @@
+"""Disjunctive predicates (Section 8 extension): DNF algebra + decisions."""
+
+import pytest
+
+from repro.constraints.atoms import atom
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.dnf import Disjunction
+from repro.constraints.terms import Variable, ZERO
+
+A = Variable("a")
+B = Variable("b")
+
+
+def band(low, high):
+    return Conjunction([atom(A, ">", low), atom(A, "<", high)])
+
+
+class TestConstruction:
+    def test_needs_a_disjunct(self):
+        with pytest.raises(ValueError):
+            Disjunction([])
+
+    def test_of_wraps_single(self):
+        d = Disjunction.of(band(0, 1))
+        assert len(d) == 1
+
+    def test_or_concatenates(self):
+        d = Disjunction.of(band(0, 1)) | Disjunction.of(band(5, 6))
+        assert len(d) == 2
+
+    def test_and_distributes(self):
+        left = Disjunction([band(0, 10), band(20, 30)])
+        right = Disjunction([band(5, 25)])
+        combined = left & right
+        assert len(combined) == 2
+        assert combined.satisfiable()
+
+
+class TestDecisions:
+    def test_satisfiable_if_any_disjunct_is(self):
+        dead = band(5, 4)
+        assert not Disjunction([dead]).satisfiable()
+        assert Disjunction([dead, band(0, 1)]).satisfiable()
+
+    def test_implies_conjunction(self):
+        d = Disjunction([band(40, 45), band(46, 50)])
+        assert d.implies_conjunction(Conjunction([atom(A, ">", 30)]))
+        assert not d.implies_conjunction(Conjunction([atom(A, ">", 42)]))
+
+    def test_implies_dnf_sound(self):
+        narrow = Disjunction([band(1, 2)])
+        wide = Disjunction([band(0, 3), band(10, 20)])
+        assert narrow.implies(wide)
+        assert not wide.implies(narrow)
+
+    def test_implies_is_incomplete_not_unsound(self):
+        # (0,10) implies (0,5] OR [5,10) collectively but no single
+        # disjunct contains it; a False answer here is the documented
+        # conservatism, never a wrong True.
+        whole = Disjunction([band(0, 10)])
+        halves = Disjunction(
+            [
+                Conjunction([atom(A, ">", 0), atom(A, "<=", 5)]),
+                Conjunction([atom(A, ">=", 5), atom(A, "<", 10)]),
+            ]
+        )
+        assert halves.implies(whole)  # each half fits in the whole
+        assert not whole.implies(halves)  # undetected, conservatively False
+
+    def test_conjunction_satisfiable_with(self):
+        left = Disjunction([band(0, 1), band(10, 11)])
+        right = Disjunction([band(10.5, 20)])
+        assert left.conjunction_satisfiable_with(right)
+        assert not left.conjunction_satisfiable_with(Disjunction([band(30, 40)]))
+
+
+class TestNegation:
+    def test_negate_band(self):
+        d = Disjunction([band(0, 10)])
+        negated = d.negate()
+        # NOT (a>0 AND a<10) = a<=0 OR a>=10
+        assert negated.satisfiable()
+        assignments = [
+            ({A: -1.0, ZERO: 0.0}, True),
+            ({A: 5.0, ZERO: 0.0}, False),
+            ({A: 11.0, ZERO: 0.0}, True),
+        ]
+        for assignment, expected in assignments:
+            assert negated.evaluate(assignment) == expected
+
+    def test_negate_of_true_is_unsatisfiable(self):
+        true_dnf = Disjunction([Conjunction([])])
+        assert not true_dnf.negate().satisfiable()
+
+    def test_double_negation_preserves_models(self):
+        d = Disjunction([band(0, 2), band(5, 7)])
+        dd = d.negate().negate()
+        for probe in (-1.0, 1.0, 3.0, 6.0, 8.0):
+            assignment = {A: probe, ZERO: 0.0}
+            assert d.evaluate(assignment) == dd.evaluate(assignment)
+
+    def test_tautology(self):
+        taut = Disjunction(
+            [
+                Conjunction([atom(A, "<=", 5)]),
+                Conjunction([atom(A, ">", 5)]),
+            ]
+        )
+        assert taut.is_tautology()
+        assert not Disjunction([band(0, 10)]).is_tautology()
+
+    def test_negation_implies(self):
+        # NOT (a < 5) = a >= 5, which implies a > 0.
+        d = Disjunction([Conjunction([atom(A, "<", 5)])])
+        target = Disjunction([Conjunction([atom(A, ">", 0)])])
+        assert d.negation_implies(target)
+        assert not d.negation_implies(Disjunction([Conjunction([atom(A, ">", 10)])]))

@@ -1,0 +1,108 @@
+"""Hypothesis property tests for the GSW solver.
+
+The key meta-properties: verdicts must be consistent with brute-force
+model evaluation, closed under logical identities, and stable under
+syntactic permutation.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.atoms import Atom, Op, atom
+from repro.constraints.gsw import GswSolver
+from repro.constraints.terms import Variable, ZERO
+
+VARIABLES = [Variable("a"), Variable("b"), Variable("c")]
+
+operators = st.sampled_from(["<", "<=", ">", ">=", "=", "!="])
+constants = st.integers(-4, 4).map(float)
+
+
+@st.composite
+def atoms(draw):
+    x = draw(st.sampled_from(VARIABLES))
+    op = draw(operators)
+    if draw(st.booleans()):
+        return atom(x, op, draw(constants))
+    y = draw(st.sampled_from([v for v in VARIABLES if v != x]))
+    return atom(x, op, y, draw(constants))
+
+
+atom_lists = st.lists(atoms(), min_size=1, max_size=5)
+
+#: Grid assignments dense enough to witness satisfiability of integer-offset
+#: systems over three variables (the solver's own domain is the reals, but
+#: half-integer grids catch all strict-inequality corner cases here).
+assignments = st.tuples(
+    st.integers(-12, 12), st.integers(-12, 12), st.integers(-12, 12)
+).map(
+    lambda triple: {
+        VARIABLES[0]: triple[0] / 2.0,
+        VARIABLES[1]: triple[1] / 2.0,
+        VARIABLES[2]: triple[2] / 2.0,
+        ZERO: 0.0,
+    }
+)
+
+
+@settings(max_examples=400, deadline=None)
+@given(atom_lists, assignments)
+def test_unsat_has_no_models(premises, assignment):
+    """If the solver says unsatisfiable, no assignment satisfies it."""
+    if not GswSolver.satisfiable(premises):
+        assert not all(a.evaluate(assignment) for a in premises)
+
+
+@settings(max_examples=400, deadline=None)
+@given(atom_lists, atoms(), assignments)
+def test_implication_holds_on_models(premises, conclusion, assignment):
+    """If premises => conclusion, every model of the premises satisfies it."""
+    if GswSolver.implies(premises, conclusion):
+        if all(a.evaluate(assignment) for a in premises):
+            assert conclusion.evaluate(assignment)
+
+
+@settings(max_examples=200, deadline=None)
+@given(atom_lists)
+def test_satisfiability_is_order_insensitive(premises):
+    shuffled = list(reversed(premises))
+    assert GswSolver.satisfiable(premises) == GswSolver.satisfiable(shuffled)
+
+
+@settings(max_examples=200, deadline=None)
+@given(atom_lists, atoms())
+def test_implication_monotone_in_premises(premises, extra):
+    """Adding premises never invalidates an implication."""
+    conclusion = premises[0]
+    assert GswSolver.implies(premises, conclusion)
+    assert GswSolver.implies(premises + [extra], conclusion)
+
+
+@settings(max_examples=200, deadline=None)
+@given(atom_lists, atoms())
+def test_contrapositive_consistency(premises, conclusion):
+    """premises => c and premises => NOT c together force unsat premises."""
+    implies_c = GswSolver.implies(premises, conclusion)
+    implies_not_c = GswSolver.implies(premises, conclusion.negate())
+    if implies_c and implies_not_c:
+        assert not GswSolver.satisfiable(premises)
+
+
+@settings(max_examples=200, deadline=None)
+@given(atoms())
+def test_atom_self_implication(a):
+    assert GswSolver.implies([a], a)
+
+
+@settings(max_examples=200, deadline=None)
+@given(atoms(), assignments)
+def test_negation_is_complementary(a, assignment):
+    assert a.evaluate(assignment) != a.negate().evaluate(assignment)
+
+
+@settings(max_examples=300, deadline=None)
+@given(atom_lists, assignments)
+def test_models_imply_sat_verdict(premises, assignment):
+    """A concrete model forces the solver to answer satisfiable."""
+    assume(all(a.evaluate(assignment) for a in premises))
+    assert GswSolver.satisfiable(premises)

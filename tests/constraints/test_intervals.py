@@ -1,0 +1,191 @@
+"""Interval sets and the Section 8 set-inclusion reduction.
+
+Includes the cross-check: on single-variable constant-bound predicates,
+the interval oracle and the GSW solver must agree exactly.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.constraints.atoms import atom
+from repro.constraints.gsw import GswSolver
+from repro.constraints.intervals import (
+    FULL_LINE,
+    Interval,
+    IntervalSet,
+    atom_to_interval_set,
+    atoms_to_interval_set,
+    interval_implies,
+    interval_satisfiable,
+)
+from repro.constraints.terms import Variable
+from repro.errors import ConstraintError
+
+X = Variable("x")
+Y = Variable("y")
+
+
+class TestInterval:
+    def test_empty_detection(self):
+        assert Interval(2, 1, True, True).empty
+        assert Interval(1, 1, True, False).empty
+        assert not Interval(1, 1, True, True).empty
+        assert not Interval(1, 2, False, False).empty
+
+    def test_contains_respects_openness(self):
+        iv = Interval(1, 2, False, True)
+        assert not iv.contains(1)
+        assert iv.contains(2)
+        assert iv.contains(1.5)
+        assert not iv.contains(2.5)
+
+    def test_infinite_endpoints_must_be_open(self):
+        with pytest.raises(ValueError):
+            Interval(-math.inf, 0, True, True)
+        with pytest.raises(ValueError):
+            Interval(0, math.inf, True, True)
+
+    def test_intersection(self):
+        a = Interval(0, 10, True, True)
+        b = Interval(5, 15, False, True)
+        got = a.intersect(b)
+        assert (got.low, got.high, got.low_closed, got.high_closed) == (5, 10, False, True)
+
+    def test_subset(self):
+        inner = Interval(1, 2, False, False)
+        outer = Interval(1, 2, True, True)
+        assert inner.subset_of(outer)
+        assert not outer.subset_of(inner)
+        assert inner.subset_of(FULL_LINE)
+
+
+class TestIntervalSet:
+    def test_normalization_merges_overlaps(self):
+        s = IntervalSet([Interval(0, 2, True, True), Interval(1, 3, True, True)])
+        assert len(s.intervals) == 1
+        assert s.intervals[0].high == 3
+
+    def test_touching_closed_open_merges(self):
+        s = IntervalSet([Interval(0, 1, True, True), Interval(1, 2, False, True)])
+        assert len(s.intervals) == 1
+
+    def test_touching_open_open_does_not_merge(self):
+        s = IntervalSet([Interval(0, 1, True, False), Interval(1, 2, False, True)])
+        assert len(s.intervals) == 2
+
+    def test_complement_roundtrip_membership(self):
+        s = IntervalSet([Interval(0, 1, True, False), Interval(3, 4, False, True)])
+        c = s.complement()
+        for x in (-1, 0, 0.5, 1, 2, 3, 3.5, 4, 5):
+            assert s.contains(x) != c.contains(x)
+
+    def test_complement_of_full_is_empty(self):
+        assert IntervalSet.full().complement().is_empty
+
+    def test_subset_of(self):
+        small = IntervalSet([Interval(1, 2, True, True)])
+        big = IntervalSet([Interval(0, 3, True, True)])
+        split = IntervalSet(
+            [Interval(0, 1.5, True, True), Interval(1.6, 3, True, True)]
+        )
+        assert small.subset_of(big)
+        assert not big.subset_of(small)
+        assert not small.subset_of(split)  # the gap breaks inclusion
+        assert IntervalSet.empty().subset_of(small)
+
+
+class TestAtomTranslation:
+    @pytest.mark.parametrize(
+        "op, probe_in, probe_out",
+        [
+            ("<", 4.9, 5.0),
+            ("<=", 5.0, 5.1),
+            (">", 5.1, 5.0),
+            (">=", 5.0, 4.9),
+            ("=", 5.0, 5.1),
+        ],
+    )
+    def test_operator_boundaries(self, op, probe_in, probe_out):
+        s = atom_to_interval_set(atom(X, op, 5), X)
+        assert s.contains(probe_in)
+        assert not s.contains(probe_out)
+
+    def test_disequality_is_complement_of_point(self):
+        s = atom_to_interval_set(atom(X, "!=", 5), X)
+        assert not s.contains(5.0)
+        assert s.contains(4.9999) and s.contains(5.0001)
+
+    def test_two_variable_atom_rejected(self):
+        with pytest.raises(ConstraintError):
+            atom_to_interval_set(atom(X, "<", Y), X)
+
+    def test_wrong_variable_rejected(self):
+        with pytest.raises(ConstraintError):
+            atom_to_interval_set(atom(X, "<", 5), Y)
+
+
+class TestDecisions:
+    def test_satisfiable(self):
+        assert interval_satisfiable([atom(X, ">", 1), atom(X, "<", 2)], X)
+        assert not interval_satisfiable([atom(X, ">", 2), atom(X, "<", 1)], X)
+
+    def test_implication_by_inclusion(self):
+        narrow = [atom(X, ">", 40), atom(X, "<", 50)]
+        wide = [atom(X, ">", 30)]
+        assert interval_implies(narrow, wide, X)
+        assert not interval_implies(wide, narrow, X)
+
+
+class TestGswCrossCheck:
+    """The two provers must agree on the single-variable fragment."""
+
+    OPS = ["<", "<=", ">", ">=", "=", "!="]
+
+    def _random_atoms(self, rng):
+        return [
+            atom(X, rng.choice(self.OPS), rng.randint(-4, 4))
+            for _ in range(rng.randint(1, 4))
+        ]
+
+    def test_satisfiability_agreement(self):
+        rng = random.Random(3)
+        for _ in range(400):
+            atoms = self._random_atoms(rng)
+            assert GswSolver.satisfiable(atoms) == interval_satisfiable(atoms, X)
+
+    def test_implication_agreement(self):
+        rng = random.Random(4)
+        disagreements = []
+        for _ in range(400):
+            premises = self._random_atoms(rng)
+            conclusion = atom(X, rng.choice(self.OPS), rng.randint(-4, 4))
+            gsw = GswSolver.implies(premises, conclusion)
+            ivl = interval_implies(premises, [conclusion], X)
+            if gsw != ivl:
+                disagreements.append((premises, conclusion, gsw, ivl))
+        assert not disagreements, disagreements[:3]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["<", "<=", ">", ">=", "=", "!="]),
+            st.integers(-5, 5),
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+    st.integers(-6, 6),
+)
+def test_property_membership_matches_atom_evaluation(spec, probe):
+    """x is in intervals(conjunction) iff every atom holds at x."""
+    from repro.constraints.terms import ZERO
+
+    atoms = [atom(X, op, c) for op, c in spec]
+    s = atoms_to_interval_set(atoms, X)
+    expected = all(a.evaluate({X: float(probe), ZERO: 0.0}) for a in atoms)
+    assert s.contains(float(probe)) == expected

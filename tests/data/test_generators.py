@@ -1,0 +1,211 @@
+"""Synthetic data generators: determinism, calibration, structure."""
+
+import datetime as dt
+
+import pytest
+
+from repro.data.djia import DEFAULT_SEED, business_days, djia_table, synthetic_djia
+from repro.data.quotes import DEFAULT_TICKERS, quote_table, synthetic_quotes
+from repro.data.random_walk import (
+    geometric_walk,
+    regime_switching_walk,
+    runs_histogram,
+    sawtooth,
+)
+
+
+class TestGeometricWalk:
+    def test_deterministic(self):
+        assert geometric_walk(100, seed=5) == geometric_walk(100, seed=5)
+        assert geometric_walk(100, seed=5) != geometric_walk(100, seed=6)
+
+    def test_length_and_positivity(self):
+        prices = geometric_walk(500, seed=1)
+        assert len(prices) == 500
+        assert all(p > 0 for p in prices)
+
+    def test_zero_length(self):
+        assert geometric_walk(0) == []
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_walk(-1)
+
+    def test_volatility_scales_moves(self):
+        calm = geometric_walk(2000, volatility=0.001, shock_probability=0, seed=2)
+        wild = geometric_walk(2000, volatility=0.05, shock_probability=0, seed=2)
+        calm_moves = runs_histogram(calm, band=0.02)
+        wild_moves = runs_histogram(wild, band=0.02)
+        assert calm_moves["flat"] > wild_moves["flat"]
+
+
+class TestRegimeSwitchingWalk:
+    def test_deterministic(self):
+        assert regime_switching_walk(200, seed=3) == regime_switching_walk(200, seed=3)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            regime_switching_walk(10, calm_persistence=1.5)
+
+    def test_volatility_clusters(self):
+        """>2% moves must be clustered: the probability that a big-move
+        day follows a big-move day far exceeds the base rate."""
+        prices = regime_switching_walk(6000, seed=4)
+        big = []
+        for previous, current in zip(prices, prices[1:]):
+            big.append(abs(current / previous - 1.0) > 0.02)
+        base_rate = sum(big) / len(big)
+        followers = [b for a, b in zip(big, big[1:]) if a]
+        conditional = sum(followers) / max(1, len(followers))
+        assert conditional > 2 * base_rate
+
+
+class TestSawtooth:
+    def test_respects_floor(self):
+        prices = sawtooth(2000, floor=8.0, seed=7)
+        assert min(prices) >= 8.0
+
+    def test_run_structure(self):
+        prices = sawtooth(500, min_run=10, max_run=10, seed=7)
+        # Direction flips exactly every 10 steps (after the first run).
+        directions = [1 if b > a else -1 for a, b in zip(prices, prices[1:])]
+        changes = [i for i in range(1, len(directions)) if directions[i] != directions[i - 1]]
+        gaps = [b - a for a, b in zip(changes, changes[1:])]
+        assert gaps and all(g == 10 for g in gaps[:-1])
+
+    def test_run_bounds_validated(self):
+        with pytest.raises(ValueError):
+            sawtooth(10, min_run=0)
+        with pytest.raises(ValueError):
+            sawtooth(10, min_run=5, max_run=3)
+
+
+class TestRunsHistogram:
+    def test_exact_counts(self):
+        prices = [100, 103, 102, 102.5, 90]
+        h = runs_histogram(prices, band=0.02)
+        assert h == {"up": 1, "down": 1, "flat": 2}
+
+    def test_band_zero_counts_ties_as_flat(self):
+        assert runs_histogram([1, 1, 2], band=0.0) == {"up": 1, "down": 0, "flat": 1}
+
+    def test_total_is_n_minus_one(self):
+        prices = geometric_walk(100, seed=9)
+        h = runs_histogram(prices, band=0.02)
+        assert sum(h.values()) == 99
+
+
+class TestSyntheticDjia:
+    def test_calendar_span(self):
+        series = synthetic_djia()
+        dates = [day for day, _ in series]
+        assert dates[0] == dt.date(1976, 1, 2)
+        assert dates[-1] == dt.date(2000, 12, 29)
+        assert all(day.weekday() < 5 for day in dates)
+        assert 6000 < len(series) < 6600  # ~25 years of business days
+
+    def test_deterministic_default_seed(self):
+        assert synthetic_djia() == synthetic_djia(DEFAULT_SEED)
+
+    def test_band_statistics_in_historical_ballpark(self):
+        """A few percent of days beyond the 2% band, like the real DJIA."""
+        prices = [price for _, price in synthetic_djia()]
+        h = runs_histogram(prices, band=0.02)
+        beyond = (h["up"] + h["down"]) / sum(h.values())
+        assert 0.01 < beyond < 0.10
+
+    def test_table_wrapper(self):
+        table = djia_table()
+        assert table.name == "djia"
+        assert len(table) == len(synthetic_djia())
+        assert set(table.schema.names) == {"date", "price"}
+
+    def test_business_days_helper(self):
+        days = business_days(dt.date(2000, 1, 1), dt.date(2000, 1, 9))
+        # Jan 1/2 2000 = Sat/Sun; 3-7 = Mon-Fri; 8/9 = Sat/Sun.
+        assert [d.day for d in days] == [3, 4, 5, 6, 7]
+
+
+class TestSyntheticQuotes:
+    def test_all_tickers_present(self):
+        rows = synthetic_quotes(days=50)
+        assert {row["name"] for row in rows} == set(DEFAULT_TICKERS)
+
+    def test_days_per_ticker(self):
+        rows = synthetic_quotes(days=50)
+        per = [row for row in rows if row["name"] == "IBM"]
+        assert len(per) == 50
+
+    def test_rows_not_fully_sorted(self):
+        """Figure 1: cluster input need not arrive ordered."""
+        rows = synthetic_quotes(days=100)
+        dates = [row["date"] for row in rows if row["name"] == rows[0]["name"]]
+        assert dates != sorted(dates)
+
+    def test_table_wrapper_validates(self):
+        table = quote_table(days=30)
+        assert len(table) == 30 * len(DEFAULT_TICKERS)
+
+    def test_deterministic(self):
+        assert synthetic_quotes(days=20, seed=5) == synthetic_quotes(days=20, seed=5)
+
+
+class TestSyntheticWeather:
+    def test_deterministic(self):
+        from repro.data.weather import synthetic_weather
+
+        assert synthetic_weather(days=30, seed=5) == synthetic_weather(days=30, seed=5)
+
+    def test_schema_and_volume(self):
+        from repro.data.weather import DEFAULT_STATIONS, weather_table
+
+        table = weather_table(days=60)
+        assert len(table) == 60 * len(DEFAULT_STATIONS)
+        assert set(table.schema.names) == {"station", "date", "sky", "temp", "rain"}
+
+    def test_rain_only_on_rain_days(self):
+        from repro.data.weather import synthetic_weather
+
+        for row in synthetic_weather(days=120):
+            if row["sky"] == "rain":
+                assert row["rain"] > 0
+            else:
+                assert row["rain"] == 0.0
+
+    def test_sky_states_valid_and_persistent(self):
+        from repro.data.weather import synthetic_weather
+
+        rows = [r for r in synthetic_weather(days=365) if r["station"] == "LAX"]
+        skies = [r["sky"] for r in rows]
+        assert set(skies) <= {"sunny", "cloudy", "rain"}
+        # Markov persistence: same-state transitions dominate uniform chance.
+        same = sum(1 for a, b in zip(skies, skies[1:]) if a == b)
+        assert same / (len(skies) - 1) > 0.40
+
+    def test_sunny_days_query_matches_manual_count(self):
+        """The intro example, checked against a direct scan."""
+        from repro.data.weather import weather_table
+        from repro.engine.catalog import Catalog
+        from repro.engine.executor import Executor
+
+        table = weather_table(days=200)
+        catalog = Catalog([table])
+        result = Executor(catalog).execute(
+            "SELECT A.station, A.date FROM weather CLUSTER BY station "
+            "SEQUENCE BY date AS (A, B, C) "
+            "WHERE A.sky = 'sunny' AND B.sky = 'sunny' AND C.sky = 'sunny'"
+        )
+        expected = 0
+        by_station = {}
+        for row in table:
+            by_station.setdefault(row["station"], []).append(row)
+        for rows in by_station.values():
+            rows.sort(key=lambda r: r["date"])
+            index = 0
+            while index + 2 < len(rows):
+                if all(rows[index + k]["sky"] == "sunny" for k in range(3)):
+                    expected += 1
+                    index += 3  # non-overlapping
+                else:
+                    index += 1
+        assert len(result) == expected

@@ -1,0 +1,123 @@
+"""The UDA substrate: standard aggregates + SQL-TS as a UDA."""
+
+import pytest
+
+from repro.engine.aggregates import (
+    AvgAggregate,
+    CountAggregate,
+    FirstAggregate,
+    LastAggregate,
+    MaxAggregate,
+    MinAggregate,
+    PatternSearchAggregate,
+    apply_aggregate,
+)
+from repro.errors import ExecutionError
+from repro.match.base import Instrumentation
+from repro.match.ops_star import OpsStarMatcher
+from tests.conftest import price_rows
+
+
+ROWS = [{"v": 3}, {"v": 1}, {"v": 2}]
+
+
+class TestStandardAggregates:
+    @pytest.mark.parametrize(
+        "aggregate_cls, expected",
+        [
+            (FirstAggregate, [3]),
+            (LastAggregate, [2]),
+            (CountAggregate, [3]),
+            (MinAggregate, [1]),
+            (MaxAggregate, [3]),
+            (AvgAggregate, [2.0]),
+        ],
+    )
+    def test_values(self, aggregate_cls, expected):
+        assert apply_aggregate(aggregate_cls("v"), ROWS) == expected
+
+    @pytest.mark.parametrize(
+        "aggregate_cls",
+        [FirstAggregate, LastAggregate, MinAggregate, MaxAggregate, AvgAggregate],
+    )
+    def test_empty_stream_yields_nothing(self, aggregate_cls):
+        assert apply_aggregate(aggregate_cls("v"), []) == []
+
+    def test_count_empty_is_zero(self):
+        assert apply_aggregate(CountAggregate("v"), []) == [0]
+
+    def test_missing_column(self):
+        with pytest.raises(ExecutionError):
+            apply_aggregate(FirstAggregate("q"), ROWS)
+
+    def test_initialize_resets_state(self):
+        aggregate = CountAggregate("v")
+        apply_aggregate(aggregate, ROWS)
+        assert apply_aggregate(aggregate, ROWS[:1]) == [1]
+
+
+class TestPatternSearchAggregate:
+    def test_streams_tuples_and_emits_matches(self, example4_compiled):
+        rows = price_rows(55, 50, 45, 49, 51, 60)
+        instrumentation = Instrumentation()
+        aggregate = PatternSearchAggregate(
+            example4_compiled, OpsStarMatcher(), instrumentation
+        )
+        matches = apply_aggregate(aggregate, rows)
+        direct = OpsStarMatcher().find_matches(rows, example4_compiled)
+        assert matches == direct
+        assert instrumentation.tests > 0
+
+    def test_initialize_clears_buffer(self, example4_compiled):
+        aggregate = PatternSearchAggregate(example4_compiled, OpsStarMatcher())
+        apply_aggregate(aggregate, price_rows(55, 50, 45, 49, 51))
+        # Second group: fresh buffer, no carryover.
+        assert apply_aggregate(aggregate, price_rows(10, 11)) == []
+        assert len(aggregate.buffered) == 2
+
+    def test_iterate_emits_nothing_early(self, example4_compiled):
+        aggregate = PatternSearchAggregate(example4_compiled, OpsStarMatcher())
+        aggregate.initialize()
+        assert list(aggregate.iterate({"price": 55.0})) == []
+
+
+class TestStreamingPatternAggregate:
+    def test_matches_stream_out_of_iterate(self, example4_compiled):
+        from repro.engine.aggregates import StreamingPatternAggregate
+
+        aggregate = StreamingPatternAggregate(example4_compiled)
+        aggregate.initialize()
+        rows = price_rows(55, 50, 45, 49, 51, 60)
+        emitted = []
+        for row in rows:
+            emitted.extend(aggregate.iterate(row))
+        emitted.extend(aggregate.terminate())
+        assert emitted == OpsStarMatcher().find_matches(rows, example4_compiled)
+
+    def test_agrees_with_batch_aggregate(self, example4_compiled):
+        from repro.engine.aggregates import StreamingPatternAggregate
+
+        rows = price_rows(55, 50, 45, 49, 51, 60, 55, 48, 44, 49, 50)
+        batch = apply_aggregate(
+            PatternSearchAggregate(example4_compiled, OpsStarMatcher()), rows
+        )
+        streaming = apply_aggregate(
+            StreamingPatternAggregate(example4_compiled), rows
+        )
+        assert batch == streaming
+
+    def test_window_stays_bounded(self, example4_compiled):
+        import random
+
+        from repro.engine.aggregates import StreamingPatternAggregate
+
+        aggregate = StreamingPatternAggregate(example4_compiled)
+        aggregate.initialize()
+        rng = random.Random(31)
+        value = 46.0
+        peak = 0
+        for _ in range(2000):
+            value = max(35.0, min(60.0, value + rng.choice([-3.0, -1.0, 1.0, 3.0])))
+            list(aggregate.iterate({"price": value}))
+            peak = max(peak, aggregate.buffered_rows)
+        assert peak <= 10

@@ -1,0 +1,81 @@
+"""CLUSTER BY / SEQUENCE BY: the paper's Figure 1 behaviour."""
+
+import datetime as dt
+
+import pytest
+
+from repro.engine.cluster import clusters_of
+from repro.engine.table import Table
+from repro.errors import ExecutionError
+
+
+def quote_table(rows):
+    table = Table("quote", [("name", "str"), ("date", "date"), ("price", "float")])
+    table.insert_many(rows)
+    return table
+
+
+def d(day):
+    return dt.date(1999, 1, day)
+
+
+ROWS = [
+    {"name": "INTC", "date": d(26), "price": 63.5},
+    {"name": "IBM", "date": d(25), "price": 81.0},
+    {"name": "INTC", "date": d(25), "price": 60.0},
+    {"name": "IBM", "date": d(27), "price": 84.0},
+    {"name": "IBM", "date": d(26), "price": 80.5},
+    {"name": "INTC", "date": d(27), "price": 62.0},
+]
+
+
+class TestClustering:
+    def test_groups_by_key_sorted_by_sequence(self):
+        table = quote_table(ROWS)
+        clusters = dict(clusters_of(table, ["name"], ["date"]))
+        assert set(clusters) == {("INTC",), ("IBM",)}
+        intc = clusters[("INTC",)]
+        assert [row["price"] for row in intc] == [60.0, 63.5, 62.0]
+        ibm = clusters[("IBM",)]
+        assert [row["price"] for row in ibm] == [81.0, 80.5, 84.0]
+
+    def test_cluster_order_is_first_appearance(self):
+        table = quote_table(ROWS)
+        keys = [key for key, _ in clusters_of(table, ["name"], ["date"])]
+        assert keys == [("INTC",), ("IBM",)]
+
+    def test_no_cluster_by_single_group(self):
+        table = quote_table(ROWS)
+        ((key, rows),) = list(clusters_of(table, [], ["date"]))
+        assert key == ()
+        assert len(rows) == 6
+        assert [r["date"] for r in rows] == sorted(r["date"] for r in rows)
+
+    def test_no_sequence_by_preserves_insert_order(self):
+        table = quote_table(ROWS)
+        clusters = dict(clusters_of(table, ["name"], []))
+        assert [row["date"].day for row in clusters[("INTC",)]] == [26, 25, 27]
+
+    def test_multi_attribute_cluster_key(self):
+        table = Table("t", [("a", "str"), ("b", "int"), ("v", "float")])
+        table.insert_many(
+            [
+                {"a": "x", "b": 1, "v": 1.0},
+                {"a": "x", "b": 2, "v": 2.0},
+                {"a": "x", "b": 1, "v": 3.0},
+            ]
+        )
+        clusters = dict(clusters_of(table, ["a", "b"], []))
+        assert set(clusters) == {("x", 1), ("x", 2)}
+        assert len(clusters[("x", 1)]) == 2
+
+    def test_unknown_column_rejected(self):
+        table = quote_table(ROWS)
+        with pytest.raises(ExecutionError):
+            list(clusters_of(table, ["ticker"], ["date"]))
+        with pytest.raises(ExecutionError):
+            list(clusters_of(table, ["name"], ["when"]))
+
+    def test_empty_table(self):
+        table = quote_table([])
+        assert list(clusters_of(table, ["name"], ["date"])) == []

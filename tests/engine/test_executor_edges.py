@@ -1,0 +1,139 @@
+"""Executor edge cases: tiny tables, multi-attribute ordering, ties."""
+
+import datetime as dt
+
+import pytest
+
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Executor
+from repro.engine.table import Table
+from repro.pattern.predicates import AttributeDomains
+
+DOMAINS = AttributeDomains.prices()
+
+
+def table_of(rows, name="t", schema=None):
+    schema = schema or [("name", "str"), ("date", "date"), ("price", "float")]
+    table = Table(name, schema)
+    table.insert_many(rows)
+    return Catalog([table])
+
+
+def d(day):
+    return dt.date(2000, 1, day)
+
+
+SIMPLE = "SELECT X.price FROM t SEQUENCE BY date AS (X, Y) WHERE Y.price > X.price"
+
+
+class TestTinyInputs:
+    def test_empty_table(self):
+        catalog = table_of([])
+        assert len(Executor(catalog, domains=DOMAINS).execute(SIMPLE)) == 0
+
+    def test_single_row(self):
+        catalog = table_of([{"name": "A", "date": d(1), "price": 1.0}])
+        assert len(Executor(catalog, domains=DOMAINS).execute(SIMPLE)) == 0
+
+    def test_pattern_longer_than_cluster(self):
+        catalog = table_of(
+            [
+                {"name": "A", "date": d(1), "price": 1.0},
+                {"name": "A", "date": d(2), "price": 2.0},
+            ]
+        )
+        query = (
+            "SELECT X.price FROM t SEQUENCE BY date AS (X, Y, Z, W) "
+            "WHERE Y.price > X.price AND Z.price > Y.price AND W.price > Z.price"
+        )
+        assert len(Executor(catalog, domains=DOMAINS).execute(query)) == 0
+
+    def test_exactly_pattern_sized_cluster(self):
+        catalog = table_of(
+            [
+                {"name": "A", "date": d(1), "price": 1.0},
+                {"name": "A", "date": d(2), "price": 2.0},
+            ]
+        )
+        (row,) = Executor(catalog, domains=DOMAINS).execute(SIMPLE)
+        assert row == (1.0,)
+
+
+class TestOrdering:
+    def test_multi_attribute_sequence_by(self):
+        """SEQUENCE BY date, seq: ties on date break on the second key."""
+        schema = [("date", "date"), ("seq", "int"), ("price", "float")]
+        rows = [
+            {"date": d(1), "seq": 2, "price": 3.0},
+            {"date": d(1), "seq": 1, "price": 1.0},
+            {"date": d(2), "seq": 1, "price": 2.0},
+        ]
+        catalog = table_of(rows, schema=schema)
+        query = (
+            "SELECT X.price, Y.price, Z.price FROM t SEQUENCE BY date, seq "
+            "AS (X, Y, Z) WHERE X.price > 0 AND Y.price > 0 AND Z.price > 0"
+        )
+        (row,) = Executor(catalog, domains=DOMAINS).execute(query)
+        assert row == (1.0, 3.0, 2.0)  # ordered (1,1), (1,2), (2,1)
+
+    def test_cluster_by_multiple_attributes(self):
+        schema = [("a", "str"), ("b", "str"), ("date", "date"), ("price", "float")]
+        rows = [
+            {"a": "x", "b": "p", "date": d(1), "price": 1.0},
+            {"a": "x", "b": "p", "date": d(2), "price": 2.0},
+            {"a": "x", "b": "q", "date": d(1), "price": 1.0},
+            {"a": "x", "b": "q", "date": d(2), "price": 0.5},
+        ]
+        catalog = table_of(rows, schema=schema)
+        query = (
+            "SELECT X.b FROM t CLUSTER BY a, b SEQUENCE BY date AS (X, Y) "
+            "WHERE Y.price > X.price"
+        )
+        result = Executor(catalog, domains=DOMAINS).execute(query)
+        assert result.rows == (("p",),)  # only the (x, p) cluster rises
+
+
+class TestProjectionEdges:
+    def test_arithmetic_in_select(self):
+        catalog = table_of(
+            [
+                {"name": "A", "date": d(1), "price": 10.0},
+                {"name": "A", "date": d(2), "price": 15.0},
+            ]
+        )
+        query = (
+            "SELECT Y.price - X.price AS gain, Y.price / X.price AS ratio "
+            "FROM t SEQUENCE BY date AS (X, Y) WHERE Y.price > X.price"
+        )
+        (row,) = Executor(catalog, domains=DOMAINS).execute(query)
+        assert row == (5.0, 1.5)
+
+    def test_duplicate_select_expressions_allowed(self):
+        catalog = table_of(
+            [
+                {"name": "A", "date": d(1), "price": 10.0},
+                {"name": "A", "date": d(2), "price": 15.0},
+            ]
+        )
+        query = (
+            "SELECT X.price, X.price FROM t SEQUENCE BY date AS (X, Y) "
+            "WHERE Y.price > X.price"
+        )
+        result = Executor(catalog, domains=DOMAINS).execute(query)
+        assert result.rows == ((10.0, 10.0),)
+
+    def test_string_column_in_select_and_where(self):
+        catalog = table_of(
+            [
+                {"name": "UP", "date": d(1), "price": 10.0},
+                {"name": "UP", "date": d(2), "price": 15.0},
+                {"name": "DN", "date": d(1), "price": 10.0},
+                {"name": "DN", "date": d(2), "price": 5.0},
+            ]
+        )
+        query = (
+            "SELECT Y.name FROM t CLUSTER BY name SEQUENCE BY date AS (X, Y) "
+            "WHERE Y.price > X.price AND Y.name != 'DN'"
+        )
+        result = Executor(catalog, domains=DOMAINS).execute(query)
+        assert result.rows == (("UP",),)

@@ -1,0 +1,155 @@
+"""Planted-occurrence faithfulness tests.
+
+Each test constructs a price series containing a known occurrence of a
+paper query's pattern and asserts the executor reports exactly it —
+positions, navigation outputs, and FIRST/LAST endpoints.  Matchers are
+cross-checked throughout.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.data.workloads import EXAMPLE_2, EXAMPLE_8, EXAMPLE_9, EXAMPLE_10
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Executor
+from repro.engine.table import Table
+from repro.pattern.predicates import AttributeDomains
+
+DOMAINS = AttributeDomains.prices()
+BASE = dt.date(1999, 1, 4)
+
+
+def quote_catalog(prices, name="IBM", table_name="quote"):
+    table = Table(
+        table_name, [("name", "str"), ("date", "date"), ("price", "float")]
+    )
+    for offset, price in enumerate(prices):
+        table.insert(
+            {"name": name, "date": BASE + dt.timedelta(days=offset), "price": float(price)}
+        )
+    return Catalog([table])
+
+
+def day(offset):
+    return BASE + dt.timedelta(days=offset)
+
+
+def run(catalog, sql, matcher="ops"):
+    return Executor(catalog, domains=DOMAINS, matcher=matcher).execute(sql)
+
+
+def run_both(catalog, sql):
+    ops = run(catalog, sql, "ops")
+    naive = run(catalog, sql, "naive")
+    assert ops == naive
+    return ops
+
+
+class TestExample2Planted:
+    """Maximal falling period losing more than half the value."""
+
+    #            0    1   2   3   4   5   6
+    PRICES = [100, 105, 90, 70, 50, 40, 45]
+
+    def test_exact_period(self):
+        catalog = quote_catalog(self.PRICES)
+        result = run_both(catalog, EXAMPLE_2)
+        # X = day 1 (105), *Y = days 2..5 (falling to 40 < 52.5),
+        # Z = day 6 (45, no longer falling); Z.previous = day 5.
+        assert result.rows == (("IBM", day(1), day(5)),)
+
+    def test_no_match_when_drop_too_shallow(self):
+        catalog = quote_catalog([100, 105, 90, 70, 60, 65])
+        assert len(run_both(catalog, EXAMPLE_2)) == 0
+
+
+class TestExample8Planted:
+    """Rise, fall, rise — FIRST/LAST endpoints."""
+
+    #            0   1   2   3   4   5   6   7
+    PRICES = [10, 12, 14, 13, 11, 12, 15, 16]
+
+    def test_endpoints(self):
+        catalog = quote_catalog(self.PRICES)
+        result = run_both(catalog, EXAMPLE_8)
+        name, sdate, edate = result.rows[0]
+        assert name == "IBM"
+        assert sdate == day(1)  # FIRST(X): first rising tuple
+        assert edate == day(7)  # LAST(Z): last rising tuple
+
+    def test_monotone_input_has_no_match(self):
+        catalog = quote_catalog([1, 2, 3, 4, 5, 6])
+        assert len(run_both(catalog, EXAMPLE_8)) == 0
+
+
+class TestExample9Planted:
+    """The four-period 30-40 pattern, exactly as the query describes:
+    (i) rising prices into the 30-40 range, (ii) a fall, (iii) a rise
+    into 35-40, (iv) a fall below 30."""
+
+    # Greedy stars end on the first tuple that fails their condition, and
+    # that tuple is then claimed by the next element — so Y and U are the
+    # (non-rising) tuples that terminate the *X and *T runs, and S is the
+    # (non-falling) tuple that terminates *V after it dipped below 30.
+    PRICES = [
+        30,                 # 0:  anchor (a rise needs a previous tuple)
+        32, 34, 36,         # 1-3:  *X rising
+        34,                 # 4:    Y — ends the rise, inside (30, 40)
+        32, 31,             # 5-6:  *Z falling
+        33, 36,             # 7-8:  *T rising
+        35.5,               # 9:    U — ends the rise, inside (35, 40)
+        33, 28,             # 10-11: *V falling below 30
+        28.5,               # 12:   S — ends the fall, below 30
+        29,                 # 13:   tail
+    ]
+
+    def test_occurrence_found(self):
+        catalog = quote_catalog(self.PRICES)
+        result = run_both(catalog, EXAMPLE_9)
+        assert len(result) == 1
+        next_date, next_price, prev_date, prev_price = result.rows[0]
+        # X.next: the tuple after X's first tuple.
+        assert next_price == 34.0 and next_date == day(2)
+        # S.previous: the last *V tuple.
+        assert prev_price == 28.0 and prev_date == day(11)
+
+    def test_wrong_band_kills_match(self):
+        prices = list(self.PRICES)
+        prices[9] = 42  # U outside (35, 40)
+        catalog = quote_catalog(prices)
+        assert len(run_both(catalog, EXAMPLE_9)) == 0
+
+    def test_cluster_filter_excludes_other_names(self):
+        catalog = quote_catalog(self.PRICES, name="INTC")
+        assert len(run_both(catalog, EXAMPLE_9)) == 0
+
+
+class TestExample10Planted:
+    """A hand-built relaxed double bottom: drop, flat, rise, flat, drop,
+    flat, rise — all moves either >2% or within the 2% band."""
+
+    PRICES = [
+        100.0,           # 0: X (not a >2% drop vs previous — first tuple n/a)
+        100.5,           # 1: X anchor (within band of 100)
+        97.0,            # 2: *Y drop (-3.5%)
+        96.5, 96.0,      # 3-4: *Z flat (within 2%)
+        99.0,            # 5: *T rise (+3.1%)
+        99.5, 99.0,      # 6-7: *U flat
+        95.0,            # 8: *V drop (-4.0%)
+        94.5, 95.5,      # 9-10: *W flat
+        98.5,            # 11: *R rise (+3.1%)
+        99.0,            # 12: S (within band)
+    ]
+
+    def test_double_bottom_found(self):
+        catalog = quote_catalog(self.PRICES, table_name="djia")
+        result = run_both(catalog, EXAMPLE_10)
+        assert len(result) == 1
+        next_date, next_price, prev_date, prev_price = result.rows[0]
+        assert next_date == day(2) and next_price == 97.0
+        assert prev_date == day(11) and prev_price == 98.5
+
+    def test_single_bottom_is_not_enough(self):
+        catalog = quote_catalog(self.PRICES[:8], table_name="djia")
+        assert len(run_both(catalog, EXAMPLE_10)) == 0

@@ -1,0 +1,85 @@
+"""Precision/recall of the double-bottom query on planted ground truth.
+
+The Example 10 query must find exactly the planted occurrences — no
+misses (recall 1.0), no spurious hits on in-band noise (precision 1.0) —
+under every matcher.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.data.planted import TEMPLATE_LENGTH, plant_double_bottoms
+from repro.data.workloads import EXAMPLE_10
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Executor
+from repro.engine.table import Table
+from repro.pattern.predicates import AttributeDomains
+
+DOMAINS = AttributeDomains.prices()
+BASE = dt.date(1990, 1, 1)
+
+
+def djia_catalog(prices):
+    table = Table("djia", [("date", "date"), ("price", "float")])
+    for offset, price in enumerate(prices):
+        table.insert({"date": BASE + dt.timedelta(days=offset), "price": price})
+    return Catalog([table])
+
+
+def found_anchor_offsets(result):
+    """X.NEXT is the first *Y tuple = anchor + 1; recover anchor offsets."""
+    return sorted((row[0] - BASE).days - 1 for row in result)
+
+
+class TestGroundTruth:
+    POSITIONS = [50, 200, 390, 700]
+
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        prices, _ = plant_double_bottoms(1000, self.POSITIONS, seed=3)
+        return djia_catalog(prices)
+
+    @pytest.mark.parametrize("matcher", ["naive", "backtracking", "ops"])
+    def test_exact_recovery(self, catalog, matcher):
+        result = Executor(catalog, domains=DOMAINS, matcher=matcher).execute(
+            EXAMPLE_10
+        )
+        assert found_anchor_offsets(result) == self.POSITIONS
+
+    def test_noise_only_series_has_no_hits(self):
+        prices, _ = plant_double_bottoms(1000, [], seed=4)
+        result = Executor(djia_catalog(prices), domains=DOMAINS).execute(EXAMPLE_10)
+        assert len(result) == 0
+
+    def test_dense_plants(self):
+        positions = list(range(20, 960, TEMPLATE_LENGTH + 5))
+        prices, _ = plant_double_bottoms(1000, positions, seed=5)
+        result = Executor(djia_catalog(prices), domains=DOMAINS).execute(EXAMPLE_10)
+        assert found_anchor_offsets(result) == positions
+
+
+class TestGeneratorValidation:
+    def test_overlapping_positions_rejected(self):
+        with pytest.raises(ValueError):
+            plant_double_bottoms(200, [10, 12])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            plant_double_bottoms(20, [15])
+        with pytest.raises(ValueError):
+            plant_double_bottoms(100, [0])
+
+    def test_excess_noise_rejected(self):
+        with pytest.raises(ValueError):
+            plant_double_bottoms(100, [], noise=0.03)
+
+    def test_noise_stays_in_band(self):
+        prices, _ = plant_double_bottoms(2000, [], seed=6)
+        for previous, current in zip(prices, prices[1:]):
+            assert abs(current / previous - 1.0) < 0.02
+
+    def test_deterministic(self):
+        assert plant_double_bottoms(300, [30], seed=7) == plant_double_bottoms(
+            300, [30], seed=7
+        )

@@ -1,0 +1,48 @@
+"""Scale smoke tests: long patterns and long inputs stay correct and sane."""
+
+import random
+
+from repro.bench.workloads import staircase_rows, staircase_spec
+from repro.match.base import Instrumentation
+from repro.match.naive import NaiveMatcher
+from repro.match.ops_star import OpsStarMatcher
+from repro.pattern.compiler import compile_pattern
+
+
+class TestLongPatterns:
+    def test_m41_staircase_compiles_and_matches(self):
+        spec = staircase_spec(40)
+        plan = compile_pattern(spec)
+        assert plan.m == 41
+        for j in range(1, 42):
+            assert 1 <= plan.shift(j) <= j
+        rows = staircase_rows(3000, min_run=4, max_run=9, seed=9)
+        ops_inst = Instrumentation()
+        matches = OpsStarMatcher().find_matches(rows, plan, ops_inst)
+        assert matches == NaiveMatcher().find_matches(rows, plan)
+        # OPS stays near-linear even at this pattern length.
+        assert ops_inst.tests < 6 * len(rows)
+
+    def test_very_long_nonstar_pattern(self):
+        from repro.bench.workloads import constant_pattern_spec
+
+        plan = compile_pattern(constant_pattern_spec([10.0] * 30 + [11.0]))
+        rows = [{"price": 10.0}] * 2000
+        inst = Instrumentation()
+        assert OpsStarMatcher().find_matches(rows, plan, inst) == []
+        assert inst.tests <= 2 * len(rows)
+
+
+class TestLongInputs:
+    def test_hundred_k_rows_linearity(self):
+        """A 100k-row scan must stay within a small constant per row."""
+        rng = random.Random(61)
+        rows = []
+        value = 50.0
+        for _ in range(100_000):
+            value = max(20.0, min(90.0, value + rng.choice([-2.0, -0.5, 0.5, 2.0])))
+            rows.append({"price": value})
+        plan = compile_pattern(staircase_spec(4))
+        inst = Instrumentation()
+        OpsStarMatcher().find_matches(rows, plan, inst)
+        assert inst.tests < 4 * len(rows)

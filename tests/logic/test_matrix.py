@@ -1,0 +1,114 @@
+"""Lower-triangular matrix container: domain enforcement and round-trips."""
+
+import pytest
+
+from repro.logic.matrix import TriangularMatrix
+from repro.logic.tribool import FALSE, TRUE, UNKNOWN
+
+
+class TestConstruction:
+    def test_default_fill_is_unknown(self):
+        m = TriangularMatrix(3)
+        assert m[3, 1] is UNKNOWN
+        assert m[2, 2] is UNKNOWN
+
+    def test_custom_fill(self):
+        m = TriangularMatrix(2, fill=TRUE)
+        assert m[2, 1] is TRUE
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            TriangularMatrix(-1)
+
+    def test_zero_size_allowed(self):
+        m = TriangularMatrix(0)
+        assert m.to_rows() == []
+
+
+class TestIndexing:
+    def test_set_get_roundtrip(self):
+        m = TriangularMatrix(4)
+        m[4, 2] = FALSE
+        assert m[4, 2] is FALSE
+
+    def test_string_values_coerced(self):
+        m = TriangularMatrix(2)
+        m[2, 1] = "U"
+        assert m[2, 1] is UNKNOWN
+
+    def test_upper_triangle_rejected(self):
+        m = TriangularMatrix(3)
+        with pytest.raises(IndexError):
+            m[1, 2]
+
+    def test_out_of_range_rejected(self):
+        m = TriangularMatrix(3)
+        with pytest.raises(IndexError):
+            m[4, 1]
+        with pytest.raises(IndexError):
+            m[2, 0]
+
+    def test_diagonal_excluded_when_requested(self):
+        m = TriangularMatrix(3, include_diagonal=False)
+        with pytest.raises(IndexError):
+            m[2, 2]
+        m[3, 2] = TRUE  # strictly-lower entry is fine
+        assert m[3, 2] is TRUE
+
+    def test_contains(self):
+        m = TriangularMatrix(3, include_diagonal=False)
+        assert (3, 1) in m
+        assert (2, 2) not in m
+        assert (1, 2) not in m
+        assert (9, 1) not in m
+
+
+class TestRowsAndLiterals:
+    def test_from_rows_with_diagonal(self):
+        m = TriangularMatrix.from_rows([["1"], ["0", "U"]])
+        assert m[1, 1] is TRUE
+        assert m[2, 1] is FALSE
+        assert m[2, 2] is UNKNOWN
+
+    def test_from_rows_without_diagonal(self):
+        m = TriangularMatrix.from_rows([[], ["1"], ["0", "U"]], include_diagonal=False)
+        assert m[2, 1] is TRUE
+        assert m[3, 2] is UNKNOWN
+
+    def test_from_rows_validates_row_lengths(self):
+        with pytest.raises(ValueError):
+            TriangularMatrix.from_rows([["1", "0"]])
+
+    def test_to_rows_roundtrip(self):
+        rows = [["1"], ["U", "0"], ["0", "1", "U"]]
+        assert TriangularMatrix.from_rows(rows).to_rows() == rows
+
+    def test_row_accessor(self):
+        m = TriangularMatrix.from_rows([["1"], ["U", "0"]])
+        assert m.row(2) == [UNKNOWN, FALSE]
+
+    def test_cells_iteration_sorted(self):
+        m = TriangularMatrix.from_rows([["1"], ["U", "0"]])
+        assert list(m.cells()) == [
+            (1, 1, TRUE),
+            (2, 1, UNKNOWN),
+            (2, 2, FALSE),
+        ]
+
+
+class TestEquality:
+    def test_equal_matrices(self):
+        a = TriangularMatrix.from_rows([["1"], ["U", "0"]])
+        b = TriangularMatrix.from_rows([["1"], ["U", "0"]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_values(self):
+        a = TriangularMatrix.from_rows([["1"], ["U", "0"]])
+        b = TriangularMatrix.from_rows([["1"], ["U", "1"]])
+        assert a != b
+
+    def test_diagonal_mode_distinguishes(self):
+        a = TriangularMatrix(2, include_diagonal=True)
+        b = TriangularMatrix(2, include_diagonal=False)
+        assert a != b

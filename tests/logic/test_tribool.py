@@ -1,0 +1,177 @@
+"""Kleene three-valued logic: the exact truth tables the paper relies on."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic.tribool import FALSE, TRUE, UNKNOWN, Tribool, kleene_all, kleene_any
+
+VALUES = [TRUE, FALSE, UNKNOWN]
+tribools = st.sampled_from(VALUES)
+
+
+class TestSingletons:
+    def test_interning(self):
+        assert Tribool("1") is TRUE
+        assert Tribool("0") is FALSE
+        assert Tribool("U") is UNKNOWN
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Tribool("2")
+
+    def test_flags(self):
+        assert TRUE.is_true and not TRUE.is_false and not TRUE.is_unknown
+        assert FALSE.is_false and not FALSE.is_true
+        assert UNKNOWN.is_unknown and not UNKNOWN.is_true and not UNKNOWN.is_false
+
+    def test_no_implicit_truthiness(self):
+        with pytest.raises(TypeError):
+            bool(TRUE)
+        with pytest.raises(TypeError):
+            if UNKNOWN:  # pragma: no cover - the raise is the assertion
+                pass
+
+
+class TestCoercion:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            (True, TRUE),
+            (False, FALSE),
+            (1, TRUE),
+            (0, FALSE),
+            ("U", UNKNOWN),
+            ("u", UNKNOWN),
+            ("1", TRUE),
+            ("0", FALSE),
+            (TRUE, TRUE),
+        ],
+    )
+    def test_coerce(self, raw, expected):
+        assert Tribool.coerce(raw) is expected
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            Tribool.coerce("yes")
+        with pytest.raises(TypeError):
+            Tribool.coerce(2)
+
+    def test_equality_against_plain_values(self):
+        assert TRUE == 1
+        assert FALSE == 0
+        assert UNKNOWN == "U"
+        assert TRUE != 0
+
+
+class TestPaperTruthTable:
+    """Section 4.2: 'standard 3-valued logic, where not U = U,
+    U and 1 = U, and U and 0 = 0'."""
+
+    def test_not_u_is_u(self):
+        assert (~UNKNOWN) is UNKNOWN
+
+    def test_u_and_one_is_u(self):
+        assert (UNKNOWN & TRUE) is UNKNOWN
+
+    def test_u_and_zero_is_zero(self):
+        assert (UNKNOWN & FALSE) is FALSE
+
+    def test_full_and_table(self):
+        table = {
+            (TRUE, TRUE): TRUE,
+            (TRUE, FALSE): FALSE,
+            (TRUE, UNKNOWN): UNKNOWN,
+            (FALSE, FALSE): FALSE,
+            (FALSE, UNKNOWN): FALSE,
+            (UNKNOWN, UNKNOWN): UNKNOWN,
+        }
+        for (a, b), expected in table.items():
+            assert (a & b) is expected
+            assert (b & a) is expected
+
+    def test_full_or_table(self):
+        table = {
+            (TRUE, TRUE): TRUE,
+            (TRUE, FALSE): TRUE,
+            (TRUE, UNKNOWN): TRUE,
+            (FALSE, FALSE): FALSE,
+            (FALSE, UNKNOWN): UNKNOWN,
+            (UNKNOWN, UNKNOWN): UNKNOWN,
+        }
+        for (a, b), expected in table.items():
+            assert (a | b) is expected
+            assert (b | a) is expected
+
+    def test_negation_involution(self):
+        for value in VALUES:
+            assert ~(~value) is value
+
+
+class TestKleeneProperties:
+    @given(tribools, tribools)
+    def test_de_morgan(self, a, b):
+        assert ~(a & b) is (~a | ~b)
+        assert ~(a | b) is (~a & ~b)
+
+    @given(tribools, tribools, tribools)
+    def test_associativity(self, a, b, c):
+        assert ((a & b) & c) is (a & (b & c))
+        assert ((a | b) | c) is (a | (b | c))
+
+    @given(tribools, tribools, tribools)
+    def test_distributivity(self, a, b, c):
+        assert (a & (b | c)) is ((a & b) | (a & c))
+
+    @given(tribools)
+    def test_identity_elements(self, a):
+        assert (a & TRUE) is a
+        assert (a | FALSE) is a
+
+    @given(tribools)
+    def test_absorbing_elements(self, a):
+        assert (a & FALSE) is FALSE
+        assert (a | TRUE) is TRUE
+
+    def test_operators_accept_raw_values(self):
+        assert (UNKNOWN & 1) is UNKNOWN
+        assert (UNKNOWN & 0) is FALSE
+        assert (1 & UNKNOWN) is UNKNOWN
+
+
+class TestFolds:
+    def test_kleene_all_empty_is_true(self):
+        assert kleene_all([]) is TRUE
+
+    def test_kleene_all_short_circuits_on_false(self):
+        assert kleene_all([TRUE, FALSE, UNKNOWN]) is FALSE
+
+    def test_kleene_all_u_propagates(self):
+        assert kleene_all([TRUE, UNKNOWN, TRUE]) is UNKNOWN
+
+    def test_kleene_any_empty_is_false(self):
+        assert kleene_any([]) is FALSE
+
+    def test_kleene_any(self):
+        assert kleene_any([FALSE, UNKNOWN]) is UNKNOWN
+        assert kleene_any([FALSE, TRUE]) is TRUE
+
+    @given(st.lists(tribools, max_size=6))
+    def test_folds_match_pairwise(self, values):
+        expected_and = TRUE
+        expected_or = FALSE
+        for v in values:
+            expected_and = expected_and & v
+            expected_or = expected_or | v
+        assert kleene_all(values) is expected_and
+        assert kleene_any(values) is expected_or
+
+
+class TestHashRepr:
+    def test_hashable(self):
+        assert len({TRUE, FALSE, UNKNOWN, Tribool("1")}) == 3
+
+    def test_repr_matches_paper_symbols(self):
+        assert repr(TRUE) == "1"
+        assert repr(FALSE) == "0"
+        assert repr(UNKNOWN) == "U"

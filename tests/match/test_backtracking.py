@@ -1,0 +1,108 @@
+"""The backtracking (declarative-semantics) baseline."""
+
+from repro.match.backtracking import BacktrackingMatcher
+from repro.match.base import Instrumentation, Span
+from repro.match.naive import NaiveMatcher
+from repro.pattern.compiler import compile_pattern
+from repro.pattern.spec import PatternElement, PatternSpec
+from repro.pattern.predicates import comparison
+from tests.conftest import PREV, PRICE, price_predicate, price_rows
+
+
+def compiled(*defs):
+    return compile_pattern(
+        PatternSpec([PatternElement(n, p, star=s) for n, p, s in defs])
+    )
+
+
+RISE = price_predicate(comparison(PRICE, ">", PREV))
+FALL = price_predicate(comparison(PRICE, "<", PREV))
+HIGH = price_predicate(comparison(PRICE, ">", 20))
+VERY_HIGH = price_predicate(comparison(PRICE, ">", 30))
+
+
+class TestAgreementOnExclusivePatterns:
+    """With mutually exclusive adjacent predicates there is a unique run
+    decomposition, so backtracking and greedy coincide."""
+
+    def test_rise_fall(self):
+        cp = compiled(("A", RISE, True), ("B", FALL, True))
+        rows = price_rows(10, 11, 12, 9, 8, 10, 11, 7)
+        assert BacktrackingMatcher().find_matches(rows, cp) == NaiveMatcher().find_matches(
+            rows, cp
+        )
+
+    def test_paper_example9_band_data(self, example9_compiled):
+        import random
+
+        rng = random.Random(33)
+        rows = []
+        value = 33.0
+        for _ in range(150):
+            value = max(22.0, min(44.0, value + rng.choice([-5, -2, -1, 1, 2, 5])))
+            rows.append({"price": value})
+        assert BacktrackingMatcher().find_matches(
+            rows, example9_compiled
+        ) == NaiveMatcher().find_matches(rows, example9_compiled)
+
+
+class TestDeclarativeVsGreedySemantics:
+    """On overlapping star predicates, the declarative reading admits
+    matches the greedy commit abandons — the gap this matcher exists to
+    expose."""
+
+    def test_backtracking_finds_split_greedy_misses(self):
+        # (*high, very_high): greedy *high swallows the 35 (it is > 20),
+        # leaving nothing > 30 behind; backtracking shortens the run.
+        cp = compiled(("A", HIGH, True), ("B", VERY_HIGH, False))
+        rows = price_rows(25, 26, 35)
+        assert NaiveMatcher().find_matches(rows, cp) == []
+        (match,) = BacktrackingMatcher().find_matches(rows, cp)
+        assert match.span_of("A") == Span(0, 1)
+        assert match.span_of("B") == Span(2, 2)
+
+    def test_maximal_first_preference(self):
+        # When the maximal split works, backtracking returns it.
+        cp = compiled(("A", HIGH, True), ("B", VERY_HIGH, False))
+        rows = price_rows(25, 26, 27, 35)
+        (match,) = BacktrackingMatcher().find_matches(rows, cp)
+        assert match.span_of("A") == Span(0, 2)
+
+
+class TestCost:
+    def test_backtracking_explores_more_on_failures(self):
+        """Deep failed attempts re-test downstream per split boundary."""
+        low = price_predicate(comparison(PRICE, "<", 5))
+        cp = compiled(("A", RISE, True), ("B", FALL, True), ("S", low, False))
+        import random
+
+        rng = random.Random(2)
+        rows = []
+        value = 50.0
+        direction = 1
+        for index in range(300):
+            if index % 20 == 0:
+                direction = -direction
+            value = max(10.0, value + direction * rng.uniform(0.5, 1.5))
+            rows.append({"price": round(value, 2)})
+        greedy_inst, back_inst = Instrumentation(), Instrumentation()
+        NaiveMatcher().find_matches(rows, cp, greedy_inst)
+        BacktrackingMatcher().find_matches(rows, cp, back_inst)
+        assert back_inst.tests >= greedy_inst.tests
+
+
+class TestEdges:
+    def test_empty_input(self):
+        cp = compiled(("A", RISE, True))
+        assert BacktrackingMatcher().find_matches([], cp) == []
+
+    def test_trailing_star(self):
+        cp = compiled(("A", FALL, False), ("B", RISE, True))
+        rows = price_rows(10, 9, 11, 12)
+        (match,) = BacktrackingMatcher().find_matches(rows, cp)
+        assert match.span_of("B") == Span(2, 3)
+
+    def test_non_overlapping_resume(self):
+        cp = compiled(("A", RISE, False), ("B", RISE, False))
+        matches = BacktrackingMatcher().find_matches(price_rows(1, 2, 3, 4, 5), cp)
+        assert [(m.start, m.end) for m in matches] == [(1, 2), (3, 4)]

@@ -1,0 +1,88 @@
+"""OPS specializes exactly to KMP on constant-equality patterns.
+
+Section 3's claim, made executable: for patterns of equality-with-constant
+predicates (Example 3's shape), the OPS machinery must not merely
+approximate KMP — on match-free inputs it performs the *identical number
+of comparisons* (overlap-handling after a success is the one place the
+two legitimately differ: KMP reports overlapping occurrences, SQL-TS
+semantics is non-overlapping).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workloads import constant_pattern_spec
+from repro.match.base import Instrumentation
+from repro.match.ops_star import OpsStarMatcher
+from repro.match.text import TextStats, kmp_search
+from repro.pattern.compiler import compile_pattern
+
+
+def _run_both(pattern: str, text: str):
+    stats = TextStats()
+    occurrences = kmp_search(text, pattern, stats)
+    plan = compile_pattern(
+        constant_pattern_spec([float(ord(ch)) for ch in pattern])
+    )
+    inst = Instrumentation()
+    matches = OpsStarMatcher().find_matches(
+        [{"price": float(ord(ch))} for ch in text], plan, inst
+    )
+    return occurrences, stats.comparisons, matches, inst.tests
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    st.text(alphabet="ab", min_size=2, max_size=6),
+    st.text(alphabet="ab", max_size=60),
+)
+def test_identical_comparison_counts_when_match_free(pattern, text):
+    occurrences, kmp_comparisons, matches, ops_tests = _run_both(pattern, text)
+    if not occurrences and not matches:
+        assert kmp_comparisons == ops_tests
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    st.text(alphabet="abc", min_size=1, max_size=5),
+    st.text(alphabet="abc", max_size=60),
+)
+def test_occurrence_sets_related(pattern, text):
+    """OPS finds exactly KMP's occurrences filtered to non-overlapping,
+    leftmost-first."""
+    occurrences, _, matches, _ = _run_both(pattern, text)
+    expected = []
+    cursor = -1
+    for start in occurrences:
+        if start > cursor:
+            expected.append(start)
+            cursor = start + len(pattern) - 1
+    assert [match.start for match in matches] == expected
+
+
+def test_worked_example_from_section31():
+    """The paper's own text/pattern pair."""
+    text = "babcbabcabcaabcabcabcacabc"
+    pattern = "abcabcacab"
+    occurrences, kmp_comparisons, matches, ops_tests = _run_both(pattern, text)
+    assert [match.start for match in matches] == occurrences == [
+        text.index(pattern)
+    ]
+    # One (non-overlapping) match: post-success continuation differs, so
+    # counts may differ by at most the pattern length.
+    assert abs(kmp_comparisons - ops_tests) <= len(pattern)
+
+
+def test_large_random_corpus_equality():
+    rng = random.Random(11)
+    checked = 0
+    for _ in range(150):
+        pattern = "".join(rng.choice("ab") for _ in range(rng.randint(2, 7)))
+        text = "".join(rng.choice("ab") for _ in range(rng.randint(0, 120)))
+        occurrences, kmp_comparisons, matches, ops_tests = _run_both(pattern, text)
+        if not occurrences and not matches:
+            checked += 1
+            assert kmp_comparisons == ops_tests
+    assert checked > 20

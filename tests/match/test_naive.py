@@ -1,0 +1,116 @@
+"""The naive baseline matcher: semantics, spans, instrumentation."""
+
+import pytest
+
+from repro.match.base import Instrumentation, Span
+from repro.match.naive import NaiveMatcher
+from repro.pattern.compiler import compile_pattern
+from repro.pattern.spec import PatternElement, PatternSpec
+from repro.pattern.predicates import comparison
+from tests.conftest import PREV, PRICE, price_predicate, price_rows
+
+
+def compiled(*defs):
+    return compile_pattern(
+        PatternSpec([PatternElement(n, p, star=s) for n, p, s in defs])
+    )
+
+
+RISE = price_predicate(comparison(PRICE, ">", PREV), label="rise")
+FALL = price_predicate(comparison(PRICE, "<", PREV), label="fall")
+LOW = price_predicate(comparison(PRICE, "<", 10), label="low")
+
+
+class TestNonStarMatching:
+    def test_single_match(self):
+        cp = compiled(("A", RISE, False), ("B", FALL, False))
+        rows = price_rows(10, 12, 9)
+        (match,) = NaiveMatcher().find_matches(rows, cp)
+        assert (match.start, match.end) == (1, 2)
+        assert match.spans == (Span(1, 1), Span(2, 2))
+
+    def test_no_match(self):
+        cp = compiled(("A", RISE, False), ("B", FALL, False))
+        assert NaiveMatcher().find_matches(price_rows(10, 11, 12), cp) == []
+
+    def test_match_cannot_start_at_position_zero_with_previous(self):
+        """Predicates referencing .previous fail on the first tuple."""
+        cp = compiled(("A", RISE, False))
+        matches = NaiveMatcher().find_matches(price_rows(5, 6), cp)
+        assert [(m.start, m.end) for m in matches] == [(1, 1)]
+
+    def test_non_overlapping_by_default(self):
+        cp = compiled(("A", RISE, False), ("B", RISE, False))
+        # 1 2 3 4 5: rises at 1,2,3,4 -> non-overlapping pairs (1,2), (3,4)
+        matches = NaiveMatcher().find_matches(price_rows(1, 2, 3, 4, 5), cp)
+        assert [(m.start, m.end) for m in matches] == [(1, 2), (3, 4)]
+
+    def test_overlapping_option(self):
+        cp = compiled(("A", RISE, False), ("B", RISE, False))
+        matches = NaiveMatcher(overlapping=True).find_matches(
+            price_rows(1, 2, 3, 4, 5), cp
+        )
+        assert [(m.start, m.end) for m in matches] == [(1, 2), (2, 3), (3, 4)]
+
+    def test_bindings(self):
+        cp = compiled(("A", RISE, False), ("B", FALL, False))
+        (match,) = NaiveMatcher().find_matches(price_rows(10, 12, 9), cp)
+        assert match.bindings() == {"A": Span(1, 1), "B": Span(2, 2)}
+        assert match.span_of("B") == Span(2, 2)
+        with pytest.raises(KeyError):
+            match.span_of("Q")
+
+
+class TestStarMatching:
+    def test_greedy_maximal_run(self):
+        cp = compiled(("A", RISE, True), ("B", FALL, False))
+        rows = price_rows(10, 11, 12, 13, 9)
+        (match,) = NaiveMatcher().find_matches(rows, cp)
+        assert match.span_of("A") == Span(1, 3)
+        assert match.span_of("B") == Span(4, 4)
+
+    def test_star_requires_at_least_one(self):
+        cp = compiled(("A", RISE, True), ("B", FALL, False))
+        assert NaiveMatcher().find_matches(price_rows(10, 9, 8), cp) == []
+
+    def test_trailing_star_completes_at_end_of_input(self):
+        cp = compiled(("A", FALL, False), ("B", RISE, True))
+        rows = price_rows(10, 9, 11, 12)
+        (match,) = NaiveMatcher().find_matches(rows, cp)
+        assert match.span_of("B") == Span(2, 3)
+
+    def test_star_run_ending_tuple_feeds_next_element(self):
+        """The tuple that ends a star run is matched by the next element."""
+        cp = compiled(("A", RISE, True), ("B", FALL, True), ("C", RISE, True))
+        rows = price_rows(10, 11, 12, 9, 8, 10, 11)
+        (match,) = NaiveMatcher().find_matches(rows, cp)
+        assert match.span_of("A") == Span(1, 2)
+        assert match.span_of("B") == Span(3, 4)
+        assert match.span_of("C") == Span(5, 6)
+
+    def test_left_maximality(self):
+        """Of two overlapping candidates, the earlier-starting one wins."""
+        cp = compiled(("A", FALL, True), ("B", RISE, False))
+        rows = price_rows(10, 9, 8, 7, 9)
+        (match,) = NaiveMatcher().find_matches(rows, cp)
+        assert match.start == 1  # not the shorter one starting at 2 or 3
+
+
+class TestInstrumentation:
+    def test_counts_every_test(self):
+        cp = compiled(("A", LOW, False))
+        inst = Instrumentation()
+        NaiveMatcher().find_matches(price_rows(20, 5, 20), cp, inst)
+        assert inst.tests == 3
+
+    def test_trace_records_one_based_pairs(self):
+        cp = compiled(("A", LOW, False))
+        inst = Instrumentation(record_trace=True)
+        NaiveMatcher().find_matches(price_rows(20, 5), cp, inst)
+        assert inst.trace == [(1, 1), (2, 1)]
+
+    def test_empty_input(self):
+        cp = compiled(("A", LOW, False))
+        inst = Instrumentation()
+        assert NaiveMatcher().find_matches([], cp, inst) == []
+        assert inst.tests == 0

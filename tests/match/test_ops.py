@@ -1,0 +1,115 @@
+"""The paper-literal non-star OPS loop: Figure 5 behaviour and agreement."""
+
+import pytest
+
+from repro.data.workloads import FIGURE5_SEQUENCE
+from repro.errors import PlanningError
+from repro.match.base import Instrumentation
+from repro.match.naive import NaiveMatcher
+from repro.match.ops import OpsMatcher
+from repro.match.ops_star import OpsStarMatcher
+from repro.pattern.compiler import compile_pattern
+from repro.pattern.spec import PatternElement, PatternSpec
+from repro.pattern.predicates import comparison
+from tests.conftest import PREV, PRICE, price_predicate, price_rows
+
+
+class TestFigure5:
+    """The Section 4.2.1 comparison on the paper's 15-value sequence."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return price_rows(*FIGURE5_SEQUENCE)
+
+    def test_no_match_in_sequence(self, rows, example4_compiled):
+        assert OpsMatcher().find_matches(rows, example4_compiled) == []
+        assert NaiveMatcher().find_matches(rows, example4_compiled) == []
+
+    def test_ops_path_strictly_shorter(self, rows, example4_compiled):
+        naive_inst = Instrumentation(record_trace=True)
+        ops_inst = Instrumentation(record_trace=True)
+        NaiveMatcher().find_matches(rows, example4_compiled, naive_inst)
+        OpsMatcher().find_matches(rows, example4_compiled, ops_inst)
+        assert ops_inst.tests < naive_inst.tests
+        assert len(ops_inst.trace) == ops_inst.tests
+
+    @staticmethod
+    def _backtracks(trace):
+        return [
+            previous - current
+            for (previous, _), (current, _) in zip(trace, trace[1:])
+            if current < previous
+        ]
+
+    def test_ops_backtracking_less_frequent_and_less_deep(
+        self, rows, example4_compiled
+    ):
+        """The Figure 5 caption, verbatim: "for the OPS algorithm, the
+        backtracking episodes are less frequent and less deep"."""
+        naive_inst = Instrumentation(record_trace=True)
+        ops_inst = Instrumentation(record_trace=True)
+        NaiveMatcher().find_matches(rows, example4_compiled, naive_inst)
+        OpsMatcher().find_matches(rows, example4_compiled, ops_inst)
+        naive_backtracks = self._backtracks(naive_inst.trace)
+        ops_backtracks = self._backtracks(ops_inst.trace)
+        assert len(ops_backtracks) < len(naive_backtracks)  # less frequent
+        assert sum(ops_backtracks) < sum(naive_backtracks)  # less deep
+
+    def test_naive_does_backtrack(self, rows, example4_compiled):
+        inst = Instrumentation(record_trace=True)
+        NaiveMatcher().find_matches(rows, example4_compiled, inst)
+        positions = [i for i, _ in inst.trace]
+        assert positions != sorted(positions)
+
+    def test_ops_skips_naive_retests(self, rows, example4_compiled):
+        """Every (i, j) pair OPS tests, naive tests too — OPS is a
+        strict subset on this input."""
+        naive_inst = Instrumentation(record_trace=True)
+        ops_inst = Instrumentation(record_trace=True)
+        NaiveMatcher().find_matches(rows, example4_compiled, naive_inst)
+        OpsMatcher().find_matches(rows, example4_compiled, ops_inst)
+        assert set(ops_inst.trace) <= set(naive_inst.trace)
+
+
+class TestEquivalenceWithUnifiedRuntime:
+    def test_star_pattern_rejected(self, example9_compiled):
+        with pytest.raises(PlanningError):
+            OpsMatcher().find_matches([], example9_compiled)
+
+    def test_same_counts_as_ops_star_on_nonstar(self, example4_compiled):
+        """The unified runtime's count bookkeeping degenerates to the
+        Section 4 formula: identical matches AND identical test counts."""
+        import random
+
+        rng = random.Random(21)
+        rows = []
+        value = 45.0
+        for _ in range(400):
+            value = max(30.0, min(60.0, value + rng.choice([-4, -2, -1, 1, 2, 4])))
+            rows.append({"price": value})
+        a_inst, b_inst = Instrumentation(), Instrumentation()
+        a = OpsMatcher().find_matches(rows, example4_compiled, a_inst)
+        b = OpsStarMatcher().find_matches(rows, example4_compiled, b_inst)
+        assert a == b
+        assert a_inst.tests == b_inst.tests
+
+
+class TestMatches:
+    def test_finds_all_nonoverlapping(self):
+        rise = price_predicate(comparison(PRICE, ">", PREV))
+        fall = price_predicate(comparison(PRICE, "<", PREV))
+        cp = compile_pattern(
+            PatternSpec([PatternElement("A", rise), PatternElement("B", fall)])
+        )
+        rows = price_rows(10, 12, 9, 11, 8, 13, 7)
+        matches = OpsMatcher().find_matches(rows, cp)
+        assert [(m.start, m.end) for m in matches] == [(1, 2), (3, 4), (5, 6)]
+        assert matches == NaiveMatcher().find_matches(rows, cp)
+
+    def test_success_spans_are_singletons(self, example4_compiled):
+        rows = price_rows(55, 50, 45, 49, 51)
+        matches = OpsMatcher().find_matches(rows, example4_compiled)
+        assert matches == NaiveMatcher().find_matches(rows, example4_compiled)
+        if matches:
+            for span in matches[0].spans:
+                assert span.length == 1

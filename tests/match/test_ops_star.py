@@ -1,0 +1,157 @@
+"""The unified OPS runtime: agreement with naive, counts, Section 5 example."""
+
+from repro.match.base import Instrumentation, Span
+from repro.match.naive import NaiveMatcher
+from repro.match.ops_star import OpsStarMatcher
+from repro.pattern.compiler import compile_pattern
+from repro.pattern.spec import PatternElement, PatternSpec
+from repro.pattern.predicates import comparison
+from tests.conftest import PREV, PRICE, price_predicate, price_rows
+
+
+def compiled(*defs, use_equivalence=True):
+    return compile_pattern(
+        PatternSpec([PatternElement(n, p, star=s) for n, p, s in defs]),
+        use_equivalence=use_equivalence,
+    )
+
+
+RISE = price_predicate(comparison(PRICE, ">", PREV), label="rise")
+FALL = price_predicate(comparison(PRICE, "<", PREV), label="fall")
+
+
+class TestSection5CounterExample:
+    """The paper's count illustration: prices
+    20 21 23 24 22 20 18 15 14 18 21 against (*rise, *fall, *rise)
+    give count(1)=4, count(2)=9, count(3)=11."""
+
+    ROWS = price_rows(20, 21, 23, 24, 22, 20, 18, 15, 14, 18, 21)
+
+    def test_counts_via_spans(self):
+        cp = compiled(("X", RISE, True), ("Y", FALL, True), ("Z", RISE, True))
+        (match,) = OpsStarMatcher().find_matches(self.ROWS, cp)
+        spans = match.bindings()
+        # count(j) is cumulative consumed input; the match starts at index 1
+        # (position 0 has no previous), so count(1) = 4 means X covers
+        # positions 1..4 minus... the paper counts from the sequence start:
+        # X consumes 3 rises + the anchor semantics differ by the leading
+        # tuple; spans encode the same boundaries.
+        assert spans["X"] == Span(1, 3)
+        assert spans["Y"] == Span(4, 8)
+        assert spans["Z"] == Span(9, 10)
+        # The paper's cumulative counts 4, 9, 11 measure tuples from the
+        # sequence start through each element's run end — the anchor tuple
+        # at position 0 (whose `previous` does not exist) is included in
+        # the paper's counting convention, so count(j) = span.end + 1.
+        assert spans["X"].end + 1 == 4
+        assert spans["Y"].end + 1 == 9
+        assert spans["Z"].end + 1 == 11
+
+    def test_agrees_with_naive(self):
+        cp = compiled(("X", RISE, True), ("Y", FALL, True), ("Z", RISE, True))
+        assert OpsStarMatcher().find_matches(self.ROWS, cp) == NaiveMatcher().find_matches(
+            self.ROWS, cp
+        )
+
+
+class TestMismatchHandling:
+    def test_next_zero_restarts_past_failed_tuple(self):
+        # (fall, rise): phi analysis proves a tuple failing "fall"... is a
+        # rise-or-flat, which does not determine "fall" -> shift/next from
+        # the matrices; just assert agreement and span correctness.
+        cp = compiled(("A", FALL, False), ("B", RISE, False))
+        rows = price_rows(10, 9, 11, 8, 12)
+        matches = OpsStarMatcher().find_matches(rows, cp)
+        assert [(m.start, m.end) for m in matches] == [(1, 2), (3, 4)]
+
+    def test_full_skip_case(self):
+        """A failure whose phi = 1 lets OPS skip re-testing the failed
+        tuple against element 1 (the steady state of the double-bottom)."""
+        not_drop = price_predicate(comparison(PRICE, ">=", 0.98 * PREV))
+        drop = price_predicate(comparison(PRICE, "<", 0.98 * PREV))
+        cp = compiled(("X", not_drop, False), ("Y", drop, True))
+        rows = price_rows(*[100 + i * 0.1 for i in range(50)])  # never drops
+        inst = Instrumentation()
+        assert OpsStarMatcher().find_matches(rows, cp, inst) == []
+        # Steady state approx one test per tuple (vs two for naive).
+        naive_inst = Instrumentation()
+        NaiveMatcher().find_matches(rows, cp, naive_inst)
+        assert inst.tests < naive_inst.tests
+        assert inst.tests <= len(rows) + cp.m
+
+    def test_counts_rebased_after_shift(self):
+        """After a mismatch deep in a star pattern, the inherited spans
+        must still describe the new attempt correctly."""
+        low = price_predicate(comparison(PRICE, "<", 30))
+        cp = compiled(("A", RISE, True), ("B", FALL, True), ("S", low, False))
+        # rise 51..53 run, fall 47,46,25 run, then 28 breaks the fall and
+        # satisfies price < 30 -> S binds the run-breaking tuple.
+        rows = price_rows(50, 51, 52, 49, 48, 51, 53, 47, 46, 25, 28)
+        ops = OpsStarMatcher().find_matches(rows, cp)
+        naive = NaiveMatcher().find_matches(rows, cp)
+        assert ops == naive
+        (match,) = ops
+        assert match.span_of("S") == Span(10, 10)
+        assert match.span_of("B") == Span(7, 9)
+
+
+class TestTrailingEdgeCases:
+    def test_trailing_star_flush(self):
+        cp = compiled(("A", FALL, False), ("B", RISE, True))
+        rows = price_rows(10, 9, 11, 12, 13)
+        (match,) = OpsStarMatcher().find_matches(rows, cp)
+        assert match.span_of("B") == Span(2, 4)
+
+    def test_input_exhausted_mid_pattern(self):
+        cp = compiled(("A", FALL, False), ("B", RISE, True), ("C", FALL, False))
+        rows = price_rows(10, 9, 11, 12)
+        assert OpsStarMatcher().find_matches(rows, cp) == []
+
+    def test_empty_input(self):
+        cp = compiled(("A", FALL, False))
+        assert OpsStarMatcher().find_matches([], cp) == []
+
+    def test_match_at_very_end(self):
+        cp = compiled(("A", FALL, False))
+        matches = OpsStarMatcher().find_matches(price_rows(10, 11, 9), cp)
+        assert [(m.start, m.end) for m in matches] == [(2, 2)]
+
+
+class TestAgreementOnPaperPatterns:
+    def test_example4_figure5_sequence(self, example4_compiled):
+        from repro.data.workloads import FIGURE5_SEQUENCE
+
+        rows = price_rows(*FIGURE5_SEQUENCE)
+        assert OpsStarMatcher().find_matches(
+            rows, example4_compiled
+        ) == NaiveMatcher().find_matches(rows, example4_compiled)
+
+    def test_example9_on_band_data(self, example9_compiled, example9_refined):
+        import random
+
+        rng = random.Random(11)
+        rows = []
+        value = 33.0
+        for _ in range(300):
+            value = max(22.0, min(44.0, value + rng.choice([-5, -2, -1, 1, 2, 5])))
+            rows.append({"price": value})
+        expected = NaiveMatcher().find_matches(rows, example9_compiled)
+        assert OpsStarMatcher().find_matches(rows, example9_compiled) == expected
+        assert OpsStarMatcher().find_matches(rows, example9_refined) == expected
+
+    def test_ops_never_slower_than_naive_on_paper_patterns(
+        self, example4_compiled, example9_refined
+    ):
+        import random
+
+        rng = random.Random(13)
+        rows = []
+        value = 40.0
+        for _ in range(500):
+            value = max(20.0, min(60.0, value + rng.choice([-5, -2, -1, 1, 2, 5])))
+            rows.append({"price": value})
+        for cp in (example4_compiled, example9_refined):
+            naive_inst, ops_inst = Instrumentation(), Instrumentation()
+            NaiveMatcher().find_matches(rows, cp, naive_inst)
+            OpsStarMatcher().find_matches(rows, cp, ops_inst)
+            assert ops_inst.tests <= naive_inst.tests

@@ -1,0 +1,125 @@
+"""Classic string matchers: paper's KMP worked example + cross-agreement."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.match.text import (
+    TextStats,
+    boyer_moore_search,
+    karp_rabin_search,
+    kmp_failure,
+    kmp_search,
+    naive_search,
+)
+
+ALGORITHMS = [naive_search, kmp_search, boyer_moore_search, karp_rabin_search]
+
+
+class TestKmpFailureArray:
+    def test_paper_pattern_abcabcacab(self):
+        """The Section 3.1 example pattern; next values from Knuth et al."""
+        next_ = kmp_failure("abcabcacab")
+        assert next_[1:] == [0, 1, 1, 0, 1, 1, 0, 5, 0, 1]
+
+    def test_all_distinct_characters(self):
+        assert kmp_failure("abcd")[1:] == [0, 1, 1, 1]
+
+    def test_repeated_character(self):
+        # "aaaa": a mismatch anywhere proves the char != 'a', so every
+        # position resets to 0.
+        assert kmp_failure("aaaa")[1:] == [0, 0, 0, 0]
+
+    def test_empty_pattern(self):
+        assert kmp_failure("") == [0]
+
+
+class TestPaperSearchExample:
+    TEXT = "babcbabcabcaabcabcabcacabc"
+    PATTERN = "abcabcacab"
+
+    def test_occurrence_found(self):
+        expected = [self.TEXT.index(self.PATTERN)]
+        for algorithm in ALGORITHMS:
+            assert algorithm(self.TEXT, self.PATTERN) == expected
+
+    def test_kmp_fewer_comparisons_than_naive(self):
+        naive_stats, kmp_stats = TextStats(), TextStats()
+        naive_search(self.TEXT, self.PATTERN, naive_stats)
+        kmp_search(self.TEXT, self.PATTERN, kmp_stats)
+        assert kmp_stats.comparisons < naive_stats.comparisons
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_empty_pattern_matches_everywhere(self, algorithm):
+        assert algorithm("abc", "") == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_pattern_longer_than_text(self, algorithm):
+        assert algorithm("ab", "abc") == []
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_exact_match(self, algorithm):
+        assert algorithm("abc", "abc") == [0]
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_overlapping_occurrences(self, algorithm):
+        assert algorithm("aaaa", "aa") == [0, 1, 2]
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_periodic_pattern(self, algorithm):
+        assert algorithm("abababab", "abab") == [0, 2, 4]
+
+
+class TestCrossAgreement:
+    def test_random_binary_strings(self):
+        rng = random.Random(6)
+        for _ in range(200):
+            text = "".join(rng.choice("ab") for _ in range(rng.randint(0, 60)))
+            pattern = "".join(rng.choice("ab") for _ in range(rng.randint(1, 6)))
+            expected = naive_search(text, pattern)
+            assert kmp_search(text, pattern) == expected
+            assert boyer_moore_search(text, pattern) == expected
+            assert karp_rabin_search(text, pattern) == expected
+
+    @given(st.text(alphabet="abc", max_size=50), st.text(alphabet="abc", min_size=1, max_size=5))
+    def test_property_agreement(self, text, pattern):
+        expected = naive_search(text, pattern)
+        assert kmp_search(text, pattern) == expected
+        assert boyer_moore_search(text, pattern) == expected
+        assert karp_rabin_search(text, pattern) == expected
+
+
+class TestComplexityCharacteristics:
+    def test_kmp_linear_comparisons(self):
+        """KMP never exceeds 2n comparisons (the classic bound)."""
+        text = "ab" * 500 + "ac"
+        pattern = "abac"
+        stats = TextStats()
+        kmp_search(text, pattern, stats)
+        assert stats.comparisons <= 2 * len(text)
+
+    def test_naive_quadratic_on_adversarial_input(self):
+        text = "a" * 400
+        pattern = "a" * 20 + "b"
+        naive_stats, kmp_stats = TextStats(), TextStats()
+        naive_search(text, pattern, naive_stats)
+        kmp_search(text, pattern, kmp_stats)
+        assert naive_stats.comparisons > 10 * kmp_stats.comparisons
+
+    def test_boyer_moore_sublinear_on_random_text(self):
+        """BM skips most characters on large alphabets."""
+        rng = random.Random(8)
+        text = "".join(rng.choice("abcdefghijklmnop") for _ in range(5000))
+        pattern = "qrstuvwx"  # absent, distinct characters
+        stats = TextStats()
+        boyer_moore_search(text, pattern, stats)
+        assert stats.comparisons < len(text)
+
+    def test_karp_rabin_hash_counts(self):
+        stats = TextStats()
+        karp_rabin_search("abcdefgh", "cde", stats)
+        assert stats.hash_operations > 0

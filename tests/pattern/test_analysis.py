@@ -1,0 +1,148 @@
+"""theta/phi construction rules, including residual conservatism."""
+
+import pytest
+
+from repro.logic.tribool import FALSE, TRUE, UNKNOWN
+from repro.pattern.analysis import build_phi, build_theta
+from repro.pattern.predicates import (
+    ElementPredicate,
+    ResidualCondition,
+    col,
+    comparison,
+    predicate,
+    true_predicate,
+)
+from tests.conftest import DOMAINS, PRICE, PREV, price_predicate
+
+
+def matrices(predicates):
+    return build_theta(predicates), build_phi(predicates)
+
+
+class TestThetaRules:
+    def test_diagonal_is_one_for_satisfiable(self):
+        p = price_predicate(comparison(PRICE, "<", 50))
+        theta, _ = matrices([p, p])
+        assert theta[1, 1] is TRUE
+
+    def test_diagonal_is_zero_for_unsatisfiable(self):
+        dead = price_predicate(comparison(PRICE, "<", 40), comparison(PRICE, ">", 50))
+        theta, _ = matrices([dead])
+        assert theta[1, 1] is FALSE
+
+    def test_implication_gives_one(self):
+        narrow = price_predicate(comparison(PRICE, ">", 40), comparison(PRICE, "<", 50))
+        wide = price_predicate(comparison(PRICE, ">", 30))
+        theta, _ = matrices([wide, narrow])
+        assert theta[2, 1] is TRUE
+
+    def test_contradiction_gives_zero(self):
+        rises = price_predicate(comparison(PRICE, ">", PREV))
+        falls = price_predicate(comparison(PRICE, "<", PREV))
+        theta, _ = matrices([rises, falls])
+        assert theta[2, 1] is FALSE
+
+    def test_unrelated_gives_unknown(self):
+        a = price_predicate(comparison(PRICE, ">", 40))
+        b = price_predicate(comparison(PRICE, "<", PREV))
+        theta, _ = matrices([a, b])
+        assert theta[2, 1] is UNKNOWN
+
+    def test_unsat_premise_gives_zero_not_one(self):
+        """The paper's p_j !== F guard: an impossible element never
+        produces a 1 entry (the 0 rule wins)."""
+        dead = price_predicate(comparison(PRICE, "<", 40), comparison(PRICE, ">", 50))
+        anything = price_predicate(comparison(PRICE, ">", 0))
+        theta, _ = matrices([anything, dead])
+        assert theta[2, 1] is FALSE
+
+    def test_everything_implies_true_element(self):
+        theta, _ = matrices([true_predicate(), price_predicate(comparison(PRICE, "<", 5))])
+        assert theta[2, 1] is TRUE
+
+
+class TestPhiRules:
+    def test_negation_implies_gives_one(self):
+        # NOT (price < 0.98 prev) is exactly price >= 0.98 prev.
+        not_dropping = price_predicate(comparison(PRICE, ">=", 0.98 * PREV))
+        dropping = price_predicate(comparison(PRICE, "<", 0.98 * PREV))
+        _, phi = matrices([not_dropping, dropping])
+        assert phi[2, 1] is TRUE
+
+    def test_converse_implication_gives_zero(self):
+        rises = price_predicate(comparison(PRICE, ">", PREV))
+        rises_bounded = price_predicate(
+            comparison(PRICE, ">", PREV), comparison(PRICE, "<", 52)
+        )
+        _, phi = matrices([rises_bounded, rises])
+        # NOT p2 => NOT p1 since p1 => p2.
+        assert phi[2, 1] is FALSE
+
+    def test_tautology_guard(self):
+        """phi against a tautological p_j may not use the 0 rule."""
+        taut = true_predicate()
+        other = price_predicate(comparison(PRICE, "<", 5))
+        _, phi = matrices([other, taut])
+        # NOT TRUE => anything, so phi = 1 (not 0 despite other => taut).
+        assert phi[2, 1] is TRUE
+
+    def test_diagonal(self):
+        p = price_predicate(comparison(PRICE, "<", 50))
+        _, phi = matrices([p])
+        assert phi[1, 1] is FALSE
+        _, phi = matrices([true_predicate()])
+        assert phi[1, 1] is TRUE
+
+
+class TestResidualConservatism:
+    def test_residual_target_never_one_in_theta(self):
+        premise = price_predicate(comparison(PRICE, ">", 40), comparison(PRICE, "<", 50))
+        hidden = ElementPredicate(
+            [comparison(PRICE, ">", 30), ResidualCondition(lambda _: False)],
+            domains=DOMAINS,
+        )
+        theta, _ = matrices([hidden, premise])
+        # Without the residual this entry would be 1; with it, U.
+        assert theta[2, 1] is UNKNOWN
+
+    def test_residual_premise_may_still_give_one(self):
+        """Residuals strengthen the premise; implication stays sound."""
+        narrow_hidden = ElementPredicate(
+            [
+                comparison(PRICE, ">", 40),
+                comparison(PRICE, "<", 50),
+                ResidualCondition(lambda _: True),
+            ],
+            domains=DOMAINS,
+        )
+        wide = price_predicate(comparison(PRICE, ">", 30))
+        theta, _ = matrices([wide, narrow_hidden])
+        assert theta[2, 1] is TRUE
+
+    def test_residual_contradiction_still_zero(self):
+        rises_hidden = ElementPredicate(
+            [comparison(PRICE, ">", PREV), ResidualCondition(lambda _: True)],
+            domains=DOMAINS,
+        )
+        falls = price_predicate(comparison(PRICE, "<", PREV))
+        theta, _ = matrices([falls, rises_hidden])
+        assert theta[2, 1] is FALSE
+
+    def test_residual_blocks_phi_definite_values(self):
+        hidden = ElementPredicate(
+            [comparison(PRICE, ">=", 0.98 * PREV), ResidualCondition(lambda _: True)],
+            domains=DOMAINS,
+        )
+        dropping = price_predicate(comparison(PRICE, "<", 0.98 * PREV))
+        _, phi = matrices([hidden, dropping])
+        assert phi[2, 1] is UNKNOWN
+
+
+class TestShapes:
+    def test_pattern_spec_accepted(self, example4_pattern):
+        theta = build_theta(example4_pattern)
+        assert theta.size == 4
+
+    def test_sequence_of_predicates_accepted(self, example4_predicates):
+        theta = build_theta(example4_predicates)
+        assert theta.size == 4

@@ -1,0 +1,163 @@
+"""Disjunctive pattern predicates through the whole optimizer (Section 8).
+
+The paper: "We have also extended the OPS algorithm to optimize patterns
+containing disjunctive conditions."  These tests drive OR predicates
+through symbolization, the theta/phi analysis, compilation, and the
+matchers — including the differential guarantee.
+"""
+
+import random
+
+from repro.logic.tribool import FALSE, TRUE, UNKNOWN
+from repro.match.naive import NaiveMatcher
+from repro.match.ops_star import OpsStarMatcher
+from repro.pattern.analysis import build_phi, build_theta
+from repro.pattern.compiler import compile_pattern
+from repro.pattern.predicates import OrCondition, comparison, predicate
+from repro.pattern.spec import PatternElement, PatternSpec
+from tests.conftest import DOMAINS, PREV, PRICE, price_predicate, price_rows
+
+
+def or_predicate(*branches, label=""):
+    """Each branch is a list of (left, op, right) comparison triples."""
+    condition = OrCondition(
+        [[comparison(*leaf) for leaf in branch] for branch in branches]
+    )
+    return predicate(condition, domains=DOMAINS, label=label)
+
+
+class TestEvaluation:
+    def test_any_branch_suffices(self):
+        pred = or_predicate([(PRICE, "<", 10)], [(PRICE, ">", 90)])
+        from repro.pattern.predicates import EvalContext
+
+        rows = [{"price": 5.0}, {"price": 50.0}, {"price": 95.0}]
+        assert pred.test(EvalContext(rows, 0))
+        assert not pred.test(EvalContext(rows, 1))
+        assert pred.test(EvalContext(rows, 2))
+
+    def test_branch_is_conjunction(self):
+        pred = or_predicate(
+            [(PRICE, ">", 40), (PRICE, "<", 50)],
+            [(PRICE, ">", 90)],
+        )
+        from repro.pattern.predicates import EvalContext
+
+        rows = [{"price": 45.0}, {"price": 60.0}, {"price": 95.0}]
+        assert pred.test(EvalContext(rows, 0))
+        assert not pred.test(EvalContext(rows, 1))
+        assert pred.test(EvalContext(rows, 2))
+
+
+class TestAnalysis:
+    def test_disjoint_or_vs_band_gives_zero(self):
+        """(p < 10 OR p > 90) contradicts 40 < p < 50: theta = 0."""
+        extremes = or_predicate([(PRICE, "<", 10)], [(PRICE, ">", 90)])
+        band = price_predicate(
+            comparison(PRICE, ">", 40), comparison(PRICE, "<", 50)
+        )
+        theta = build_theta([band, extremes])
+        assert theta[2, 1] is FALSE
+
+    def test_or_implied_by_narrow_branch(self):
+        """p > 95 implies (p < 10 OR p > 90): theta = 1 via single-disjunct
+        witness."""
+        extremes = or_predicate([(PRICE, "<", 10)], [(PRICE, ">", 90)])
+        very_high = price_predicate(comparison(PRICE, ">", 95))
+        theta = build_theta([extremes, very_high])
+        assert theta[2, 1] is TRUE
+
+    def test_or_premise_implies_common_weakening(self):
+        """(40<p<45 OR 50<p<55) implies 30 < p: every disjunct does."""
+        split_band = or_predicate(
+            [(PRICE, ">", 40), (PRICE, "<", 45)],
+            [(PRICE, ">", 50), (PRICE, "<", 55)],
+        )
+        wide = price_predicate(comparison(PRICE, ">", 30))
+        theta = build_theta([wide, split_band])
+        assert theta[2, 1] is TRUE
+
+    def test_collective_implication_stays_unknown(self):
+        """0<p<10 implies (p<=5 OR p>=5) only collectively — the sound
+        one-witness rule cannot prove it, so U, never a wrong 0/1."""
+        whole = price_predicate(
+            comparison(PRICE, ">", 0), comparison(PRICE, "<", 10)
+        )
+        halves = or_predicate([(PRICE, "<=", 5)], [(PRICE, ">=", 5)])
+        theta = build_theta([halves, whole])
+        assert theta[2, 1] is UNKNOWN
+
+    def test_phi_with_or_target(self):
+        """NOT (p >= 10) = p < 10, which implies (p < 10 OR p > 90)."""
+        at_least_ten = price_predicate(comparison(PRICE, ">=", 10))
+        extremes = or_predicate([(PRICE, "<", 10)], [(PRICE, ">", 90)])
+        phi = build_phi([at_least_ten, extremes])
+        assert phi[2, 1] is TRUE
+
+
+class TestEndToEnd:
+    def test_compiled_plan_exploits_disjunction(self):
+        """A pattern whose OR element contradicts its neighbour gets a
+        0 entry and hence a real shift."""
+        band = price_predicate(
+            comparison(PRICE, ">", 40), comparison(PRICE, "<", 50), label="band"
+        )
+        extremes = or_predicate(
+            [(PRICE, "<", 10)], [(PRICE, ">", 90)], label="extremes"
+        )
+        spec = PatternSpec(
+            [PatternElement("A", band), PatternElement("B", extremes)]
+        )
+        plan = compile_pattern(spec)
+        assert plan.theta[2, 1] is FALSE
+
+    def test_differential_with_or_patterns(self):
+        rng = random.Random(17)
+        for _ in range(150):
+            elements = []
+            for index in range(rng.randrange(2, 5)):
+                if rng.random() < 0.5:
+                    pred = or_predicate(
+                        [(PRICE, "<", rng.randrange(20, 40))],
+                        [(PRICE, ">", rng.randrange(60, 80))],
+                    )
+                else:
+                    pred = price_predicate(
+                        comparison(PRICE, rng.choice(["<", ">"]), PREV)
+                    )
+                elements.append(
+                    PatternElement(f"V{index}", pred, star=rng.random() < 0.4)
+                )
+            spec = PatternSpec(elements)
+            plan = compile_pattern(spec)
+            rows = []
+            value = 50.0
+            for _ in range(rng.randrange(5, 60)):
+                value = max(5.0, min(95.0, value + rng.choice([-20, -5, -1, 1, 5, 20])))
+                rows.append({"price": value})
+            assert OpsStarMatcher().find_matches(rows, plan) == NaiveMatcher().find_matches(
+                rows, plan
+            )
+
+    def test_sql_level_or_query(self):
+        """OR through the full SQL pipeline with matcher agreement."""
+        from repro.engine.catalog import Catalog
+        from repro.engine.executor import Executor
+        from repro.engine.table import Table
+        import datetime as dt
+
+        table = Table("t", [("date", "date"), ("price", "float")])
+        base = dt.date(2000, 1, 3)
+        for offset, price in enumerate([45.0, 95.0, 45.0, 5.0, 45.0, 92.0]):
+            table.insert({"date": base + dt.timedelta(days=offset), "price": price})
+        catalog = Catalog([table])
+        query = """
+            SELECT A.date, B.price
+            FROM t SEQUENCE BY date AS (A, B)
+            WHERE A.price > 40 AND A.price < 50
+              AND (B.price < 10 OR B.price > 90)
+        """
+        ops = Executor(catalog, domains=DOMAINS, matcher="ops").execute(query)
+        naive = Executor(catalog, domains=DOMAINS, matcher="naive").execute(query)
+        assert ops == naive
+        assert len(ops) == 3

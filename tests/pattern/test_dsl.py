@@ -1,0 +1,110 @@
+"""The pattern-builder DSL."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.match.naive import NaiveMatcher
+from repro.match.ops_star import OpsStarMatcher
+from repro.pattern.dsl import (
+    PatternBuilder,
+    above,
+    below,
+    between,
+    equals,
+    falls,
+    pct_change,
+    rises,
+)
+from repro.pattern.predicates import AttributeDomains, EvalContext
+from tests.conftest import price_rows
+
+
+def ctx(prices, index):
+    return EvalContext(price_rows(*prices), index)
+
+
+class TestConditionBuilders:
+    def test_rises_falls(self):
+        assert rises().evaluate(ctx([10, 11], 1))
+        assert not rises().evaluate(ctx([11, 10], 1))
+        assert falls().evaluate(ctx([11, 10], 1))
+
+    def test_bounds(self):
+        assert below(10).evaluate(ctx([9], 0))
+        assert not below(10).evaluate(ctx([10], 0))
+        assert above(10).evaluate(ctx([11], 0))
+
+    def test_between_is_two_conditions(self):
+        low, high = between(30, 40)
+        assert low.evaluate(ctx([35], 0)) and high.evaluate(ctx([35], 0))
+        assert not low.evaluate(ctx([25], 0))
+        assert not high.evaluate(ctx([45], 0))
+
+    def test_pct_change(self):
+        drop = pct_change("<", 0.98)
+        assert drop.evaluate(ctx([100, 97], 1))
+        assert not drop.evaluate(ctx([100, 99], 1))
+
+    def test_equals(self):
+        assert equals(10).evaluate(ctx([10], 0))
+        assert not equals(10).evaluate(ctx([10.5], 0))
+
+    def test_custom_attribute(self):
+        condition = rises("volume")
+        rows = [{"volume": 5}, {"volume": 9}]
+        assert condition.evaluate(EvalContext(rows, 1))
+
+
+class TestBuilder:
+    def test_builds_compiled_pattern(self):
+        plan = (
+            PatternBuilder()
+            .element("X")
+            .star("D", falls())
+            .element("R", rises(), below(30))
+            .compile()
+        )
+        assert plan.m == 3
+        assert plan.stars() == (False, True, False)
+
+    def test_positive_domain_default_enables_ratio_rewrite(self):
+        plan = (
+            PatternBuilder()
+            .element("X", pct_change(">=", 0.98))
+            .star("Y", pct_change("<", 0.98))
+            .compile()
+        )
+        # The phi entry that drives the double-bottom steady state.
+        from repro.logic.tribool import TRUE
+
+        assert plan.phi[2, 1] is TRUE
+
+    def test_domains_override(self):
+        plan = (
+            PatternBuilder(domains=AttributeDomains.none())
+            .element("X", pct_change(">=", 0.98))
+            .star("Y", pct_change("<", 0.98))
+            .compile()
+        )
+        assert plan.spec.element(1).predicate.has_residual
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(PlanningError):
+            PatternBuilder().compile()
+
+    def test_matchers_agree_on_dsl_pattern(self):
+        plan = (
+            PatternBuilder()
+            .star("U", rises())
+            .star("D", falls())
+            .element("S", below(30))
+            .compile()
+        )
+        rows = price_rows(50, 52, 54, 50, 45, 28, 60, 61, 40, 25)
+        assert OpsStarMatcher().find_matches(rows, plan) == NaiveMatcher().find_matches(
+            rows, plan
+        )
+
+    def test_spec_without_compile(self):
+        spec = PatternBuilder().element("A", equals(10)).spec()
+        assert spec.names == ("A",)

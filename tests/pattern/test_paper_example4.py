@@ -1,0 +1,80 @@
+"""Examples 5, 6, 7: the paper's worked non-star compilation, asserted exactly.
+
+The paper computes, for the Example 4 pattern (p1..p4):
+
+    theta = [1; 1 1; 0 0 1; 0 0 U 1]
+    phi   = [0; U 0; U U 0; U U 0 0]
+    S     = [U; U U; 0 0 U]            (Example 6)
+    shift = 1 1 1 3                    (Example 7)
+    next  = 0 1 2 1                    (Example 7)
+"""
+
+from repro.pattern.analysis import build_phi, build_theta
+from repro.pattern.shift_next import build_s_matrix, compute_shift_next
+
+
+class TestExample5Matrices:
+    def test_theta(self, example4_pattern):
+        theta = build_theta(example4_pattern)
+        assert theta.to_rows() == [
+            ["1"],
+            ["1", "1"],
+            ["0", "0", "1"],
+            ["0", "0", "U", "1"],
+        ]
+
+    def test_phi(self, example4_pattern):
+        phi = build_phi(example4_pattern)
+        assert phi.to_rows() == [
+            ["0"],
+            ["U", "0"],
+            ["U", "U", "0"],
+            ["U", "U", "0", "0"],
+        ]
+
+    def test_individual_derivations(self, example4_predicates):
+        """The six relations the paper lists in Example 5."""
+        p1, p2, p3, p4 = [p.symbolic.disjuncts[0] for p in example4_predicates]
+        assert p2.implies(p1)
+        assert not p3.conjunction_satisfiable_with(p1)
+        assert not p3.conjunction_satisfiable_with(p2)
+        assert not p4.conjunction_satisfiable_with(p2)
+        assert not p4.conjunction_satisfiable_with(p1)
+        assert p3.implies(p4)
+
+
+class TestExample6SMatrix:
+    def test_s_matrix(self, example4_pattern):
+        theta = build_theta(example4_pattern)
+        phi = build_phi(example4_pattern)
+        s = build_s_matrix(theta, phi)
+        assert s.to_rows() == [[], ["U"], ["U", "U"], ["0", "0", "U"]]
+
+    def test_s_entries_formula(self, example4_pattern):
+        """Spot-check the entries against the paper's expansion."""
+        theta = build_theta(example4_pattern)
+        phi = build_phi(example4_pattern)
+        s = build_s_matrix(theta, phi)
+        assert s[2, 1] == phi[2, 1]
+        assert s[3, 1] == (theta[2, 1] & phi[3, 2])
+        assert s[4, 1] == (theta[2, 1] & theta[3, 2] & phi[4, 3])
+
+
+class TestExample7ShiftNext:
+    def test_shift(self, example4_pattern):
+        theta = build_theta(example4_pattern)
+        phi = build_phi(example4_pattern)
+        arrays, _ = compute_shift_next(theta, phi)
+        assert arrays.shift[1:] == (1, 1, 1, 3)
+
+    def test_next(self, example4_pattern):
+        theta = build_theta(example4_pattern)
+        phi = build_phi(example4_pattern)
+        arrays, _ = compute_shift_next(theta, phi)
+        assert arrays.next_[1:] == (0, 1, 2, 1)
+
+    def test_compiled_pattern_agrees(self, example4_compiled):
+        cp = example4_compiled
+        assert [cp.shift(j) for j in range(1, 5)] == [1, 1, 1, 3]
+        assert [cp.next(j) for j in range(1, 5)] == [0, 1, 2, 1]
+        assert cp.s_matrix is not None and cp.graph is None

@@ -1,0 +1,131 @@
+"""Example 9: the paper's worked star-case compilation.
+
+The paper gives the full theta matrix for the 7-element pattern
+(*X, Y, *Z, *T, U, *V, S), constructs G_P^6, and concludes
+shift(6) = 3 and next(6) = 1 (via the non-deterministic node theta_41).
+The phi matrix in the published PDF is garbled by typesetting, so phi is
+checked through hand-derived individual entries instead of a full
+transcription.
+"""
+
+from repro.logic.tribool import FALSE, TRUE, UNKNOWN
+from repro.pattern.analysis import build_phi, build_theta
+from repro.pattern.compiler import compile_pattern
+
+
+class TestTheta:
+    def test_exact_matrix(self, example9_pattern):
+        theta = build_theta(example9_pattern)
+        assert theta.to_rows() == [
+            ["1"],
+            ["U", "1"],
+            ["0", "U", "1"],
+            ["1", "U", "0", "1"],
+            ["U", "1", "U", "U", "1"],
+            ["0", "U", "1", "0", "U", "1"],
+            ["U", "0", "U", "U", "0", "U", "1"],
+        ]
+
+
+class TestPhiEntries:
+    def test_hand_derived_entries(self, example9_pattern):
+        phi = build_phi(example9_pattern)
+        # p1 => p4 (identical rises), so NOT p4 => NOT p1: phi_41 = 0.
+        assert phi[4, 1] is FALSE
+        # p3 => p6 (identical falls): phi_63 = 0.
+        assert phi[6, 3] is FALSE
+        # NOT p6 (a rise-or-flat) proves neither p1 nor its negation: U.
+        assert phi[6, 1] is UNKNOWN
+        # Diagonal is 0 for non-tautological predicates.
+        for j in range(1, 8):
+            assert phi[j, j] is FALSE
+
+
+class TestFailureGraph6:
+    def test_structure(self, example9_compiled):
+        graph = example9_compiled.graph
+        assert graph is not None
+        failure = graph.failure_graph(6)
+        # Last row is phi row 6: [U, U, 0, U, U] -> node (6,3) removed.
+        assert (6, 3) not in failure.values
+        assert failure.values[(6, 1)] is UNKNOWN
+        # theta_31 = 0: node removed entirely.
+        assert (3, 1) not in failure.values
+        assert failure.values[(4, 1)] is TRUE
+
+    def test_paper_shift_conclusion(self, example9_compiled):
+        """"There is a non-zero path from theta_41 to phi_61, thus
+        shift(6) = 3" — and no path from (2,1) or (3,1)."""
+        graph = example9_compiled.graph
+        failure = graph.failure_graph(6)
+        reaching = failure.nodes_reaching_last_row()
+        assert (4, 1) in reaching
+        assert (2, 1) not in reaching  # shift 1 impossible
+        assert (3, 1) not in reaching  # shift 2 impossible (node absent)
+        assert example9_compiled.shift(6) == 3
+
+    def test_paper_next_conclusion(self, example9_compiled):
+        """theta_41 = 1 but has two outgoing arcs (not deterministic),
+        so next(6) = 1."""
+        graph = example9_compiled.graph
+        failure = graph.failure_graph(6)
+        assert len(failure.arcs[(4, 1)]) == 2
+        assert example9_compiled.next(6) == 1
+
+
+class TestWholePlan:
+    def test_first_position(self, example9_compiled):
+        assert example9_compiled.shift(1) == 1
+        assert example9_compiled.next(1) == 0
+
+    def test_all_shifts_within_bounds(self, example9_compiled):
+        cp = example9_compiled
+        for j in range(1, cp.m + 1):
+            assert 1 <= cp.shift(j) <= j
+            assert 0 <= cp.next(j) <= j - cp.shift(j) + 1
+
+    def test_star_plan_has_graph_not_s(self, example9_compiled):
+        assert example9_compiled.graph is not None
+        assert example9_compiled.s_matrix is None
+
+    def test_render_smoke(self, example9_compiled):
+        graph = example9_compiled.graph
+        text = graph.render()
+        assert "row 7" in text
+        text6 = graph.render(6)
+        assert "row 6" in text6 and "row 7" not in text6
+
+    def test_ablation_matches_paper_rules(self, example9_pattern):
+        """With the equivalence refinement off, the Example 9 worked
+        values must still hold (they come from the paper's literal rules)."""
+        cp = compile_pattern(example9_pattern, use_equivalence=False)
+        assert cp.shift(6) == 3
+        assert cp.next(6) == 1
+
+
+class TestEquivalenceRefinement:
+    """The default compiler strengthens the paper's shift(6) = 3 to 4.
+
+    Under the greedy (maximal-run) star semantics, the tuple that ends
+    old *T's run necessarily *failed* the rise predicate p4; since
+    p1 = p4, a pattern shifted by 3 would need its leading *X to either
+    stop exactly with T (diagonal path — then the new *Z must be a fall
+    where phi_63 = 0 proves the input is not one) or consume that failed
+    tuple (the down arc — impossible for an equivalent predicate).  Shift
+    3 is therefore refuted; the paper's rule set simply does not exploit
+    the maximality information.  Soundness is covered by the differential
+    suite (identical matches with and without the refinement).
+    """
+
+    def test_shift6_strengthened(self, example9_refined):
+        assert example9_refined.shift(6) == 4
+
+    def test_equivalent_star_node_is_diagonal_only(self, example9_refined):
+        failure = example9_refined.graph.failure_graph(6)
+        assert failure.arcs[(4, 1)] == ((5, 2),)
+
+    def test_refined_plan_still_bounded(self, example9_refined):
+        cp = example9_refined
+        for j in range(1, cp.m + 1):
+            assert 1 <= cp.shift(j) <= j
+            assert 0 <= cp.next(j) <= j - cp.shift(j) + 1

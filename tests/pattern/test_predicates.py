@@ -1,0 +1,176 @@
+"""Element predicates: evaluation, symbolization, boundary semantics."""
+
+import pytest
+
+from repro.constraints.atoms import CategoricalAtom
+from repro.pattern.predicates import (
+    Attr,
+    AttributeDomains,
+    ComparisonCondition,
+    ElementPredicate,
+    EvalContext,
+    LinearTerm,
+    ResidualCondition,
+    StringEqualityCondition,
+    col,
+    comparison,
+    predicate,
+    true_predicate,
+)
+
+PRICE = col("price")
+PREV = PRICE.previous
+DOMAINS = AttributeDomains.prices()
+
+
+def ctx(prices, index, bindings=None):
+    return EvalContext([{"price": float(p)} for p in prices], index, bindings)
+
+
+class TestAttrAndTerms:
+    def test_navigation_builders(self):
+        assert PREV == Attr("price", -1)
+        assert PRICE.next == Attr("price", 1)
+        assert PREV.previous == Attr("price", -2)
+
+    def test_variable_naming(self):
+        assert PRICE.variable().name == "price@0"
+        assert PREV.variable().name == "price@-1"
+
+    def test_arithmetic_sugar(self):
+        term = 1.15 * PRICE
+        assert isinstance(term, LinearTerm)
+        assert term.coefficient == pytest.approx(1.15)
+        term = PRICE + 3
+        assert term.constant == 3.0
+        term = PRICE - 3
+        assert term.constant == -3.0
+
+    def test_linear_term_of(self):
+        assert LinearTerm.of(5).constant == 5.0
+        assert LinearTerm.of(PRICE).attr == PRICE
+        with pytest.raises(Exception):
+            LinearTerm.of("price")  # type: ignore[arg-type]
+
+
+class TestEvaluation:
+    def test_current_vs_previous(self):
+        falling = predicate(comparison(PRICE, "<", PREV))
+        assert falling.test(ctx([10, 8], 1))
+        assert not falling.test(ctx([10, 12], 1))
+
+    def test_previous_missing_at_first_tuple(self):
+        falling = predicate(comparison(PRICE, "<", PREV))
+        assert not falling.test(ctx([10, 8], 0))
+
+    def test_next_missing_at_last_tuple(self):
+        peeking = predicate(comparison(PRICE, "<", PRICE.next))
+        assert peeking.test(ctx([10, 12], 0))
+        assert not peeking.test(ctx([10, 12], 1))
+
+    def test_constant_bound(self):
+        band = predicate(comparison(40, "<", PRICE), comparison(PRICE, "<", 50))
+        assert band.test(ctx([45], 0))
+        assert not band.test(ctx([55], 0))
+
+    def test_scaled_comparison(self):
+        spike = predicate(comparison(PRICE, ">", 1.15 * PREV))
+        assert spike.test(ctx([10, 11.6], 1))
+        assert not spike.test(ctx([10, 11.4], 1))
+
+    def test_true_predicate(self):
+        assert true_predicate().test(ctx([1], 0))
+
+    def test_string_condition(self):
+        from repro.constraints.atoms import Op
+
+        cond = StringEqualityCondition(Attr("name", 0), Op.EQ, "IBM")
+        pred = ElementPredicate([cond])
+        rows = [{"name": "IBM"}, {"name": "INTC"}]
+        assert pred.test(EvalContext(rows, 0))
+        assert not pred.test(EvalContext(rows, 1))
+
+    def test_residual_receives_context(self):
+        seen = {}
+
+        def check(context):
+            seen["index"] = context.index
+            return True
+
+        pred = ElementPredicate([ResidualCondition(check)])
+        assert pred.test(ctx([1, 2], 1, {"X": (0, 0)}))
+        assert seen["index"] == 1
+
+
+class TestSymbolization:
+    def test_fully_symbolic(self):
+        pred = predicate(
+            comparison(PRICE, "<", PREV), comparison(PRICE, "<", 50), domains=DOMAINS
+        )
+        assert not pred.has_residual
+        assert len(pred.symbolic.disjuncts[0]) == 2
+
+    def test_residual_flag(self):
+        pred = predicate(
+            comparison(PRICE, "<", 50),
+            ResidualCondition(lambda _: True),
+            domains=DOMAINS,
+        )
+        assert pred.has_residual
+        # The symbolic part still carries the analyzable condition.
+        assert len(pred.symbolic.disjuncts[0]) == 1
+
+    def test_ratio_rewrite_only_with_positive_domain(self):
+        cond = comparison(PRICE, "<", 0.98 * PREV)
+        assert cond.symbolic_atoms(DOMAINS) is not None
+        assert cond.symbolic_atoms(AttributeDomains.none()) is None
+
+    def test_negative_ratio_not_rewritten(self):
+        cond = comparison(PRICE, "<", -0.98 * PREV)
+        assert cond.symbolic_atoms(DOMAINS) is None
+
+    def test_same_coefficient_additive_form(self):
+        cond = comparison(2 * PRICE, "<", (2 * PREV) + 6)
+        atoms = cond.symbolic_atoms(DOMAINS)
+        assert atoms is not None
+        assert atoms[0].c == pytest.approx(3.0)  # offset divided by coefficient
+
+    def test_negative_coefficient_flips_operator(self):
+        cond = comparison(-1 * PRICE, "<", -50)
+        (a,) = cond.symbolic_atoms(DOMAINS)
+        assert a.op.value == ">"
+        assert a.c == pytest.approx(50.0)
+
+    def test_ground_comparison_folds(self):
+        true_cond = comparison(1, "<", 2)
+        (a,) = true_cond.symbolic_atoms(DOMAINS)
+        assert a.is_tautology()
+        false_cond = comparison(2, "<", 1)
+        (a,) = false_cond.symbolic_atoms(DOMAINS)
+        assert a.is_contradiction()
+
+    def test_categorical_symbolization(self):
+        from repro.constraints.atoms import Op
+
+        cond = StringEqualityCondition(Attr("name", 0), Op.EQ, "IBM")
+        (a,) = cond.symbolic_atoms(DOMAINS)
+        assert isinstance(a, CategoricalAtom)
+
+
+class TestPredicateProperties:
+    def test_satisfiable(self):
+        assert predicate(comparison(PRICE, "<", 50), domains=DOMAINS).satisfiable()
+        dead = predicate(
+            comparison(PRICE, "<", 40), comparison(PRICE, ">", 50), domains=DOMAINS
+        )
+        assert not dead.satisfiable()
+
+    def test_tautology(self):
+        assert true_predicate().is_tautology()
+        assert not predicate(comparison(PRICE, "<", 50)).is_tautology()
+        with_residual = ElementPredicate([ResidualCondition(lambda _: True)])
+        assert not with_residual.is_tautology()
+
+    def test_repr_mentions_conditions(self):
+        pred = predicate(comparison(PRICE, "<", PREV), label="p1")
+        assert "p1" in repr(pred) and "previous" in repr(pred)

@@ -1,0 +1,75 @@
+"""Cross-oracle checks: interval prover vs GSW-backed theta/phi.
+
+On the single-variable constant-bound fragment the interval-set reduction
+(Section 8 / [13]) is an *exact* decision procedure, so the theta entries
+the GSW-based analysis produces must agree with interval inclusion /
+disjointness on that fragment — a strong independent check of both
+provers and of the matrix-building rules.
+"""
+
+import random
+
+from repro.constraints.intervals import atoms_to_interval_set
+from repro.constraints.terms import Variable
+from repro.logic.tribool import FALSE, TRUE, UNKNOWN
+from repro.pattern.analysis import build_phi, build_theta
+from repro.pattern.predicates import col, comparison, predicate
+from tests.conftest import DOMAINS, PRICE
+
+VAR = Variable("price@0")
+OPS = ["<", "<=", ">", ">=", "=", "!="]
+
+
+def random_band_predicate(rng):
+    conditions = []
+    for _ in range(rng.randint(1, 3)):
+        conditions.append(comparison(PRICE, rng.choice(OPS), rng.randint(-5, 5)))
+    return predicate(*conditions, domains=DOMAINS)
+
+
+def interval_set_of(element_predicate):
+    atoms = list(element_predicate.symbolic.disjuncts[0].atoms)
+    return atoms_to_interval_set(atoms, VAR)
+
+
+class TestThetaAgainstIntervals:
+    def test_random_pairs(self):
+        rng = random.Random(51)
+        checked = {"1": 0, "0": 0, "U": 0}
+        for _ in range(400):
+            pj = random_band_predicate(rng)
+            pk = random_band_predicate(rng)
+            theta = build_theta([pk, pj])
+            entry = theta[2, 1]
+            sj = interval_set_of(pj)
+            sk = interval_set_of(pk)
+            if entry is TRUE:
+                # p_j => p_k must hold as set inclusion (and p_j nonempty).
+                assert not sj.is_empty
+                assert sj.subset_of(sk)
+                checked["1"] += 1
+            elif entry is FALSE:
+                assert sj.intersect(sk).is_empty
+                checked["0"] += 1
+            else:
+                # U must be genuinely undecided: neither inclusion nor
+                # disjointness (both exact on this fragment).
+                assert not sj.subset_of(sk)
+                assert not sj.intersect(sk).is_empty
+                checked["U"] += 1
+        # All three verdicts must actually occur in the sample.
+        assert all(count > 10 for count in checked.values()), checked
+
+    def test_phi_negative_precondition(self):
+        """phi = 1 entries: complement(p_j) must sit inside p_k."""
+        rng = random.Random(52)
+        confirmed = 0
+        for _ in range(400):
+            pj = random_band_predicate(rng)
+            pk = random_band_predicate(rng)
+            phi = build_phi([pk, pj])
+            if phi[2, 1] is TRUE:
+                complement = interval_set_of(pj).complement()
+                assert complement.subset_of(interval_set_of(pk))
+                confirmed += 1
+        assert confirmed > 5

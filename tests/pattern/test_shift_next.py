@@ -1,0 +1,117 @@
+"""S matrix and shift/next for star-free patterns: formulas and edge cases."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.logic.matrix import TriangularMatrix
+from repro.logic.tribool import FALSE, TRUE, UNKNOWN
+from repro.pattern.shift_next import ShiftNext, build_s_matrix, compute_shift_next
+
+
+def diag(size, value="1"):
+    m = TriangularMatrix(size, fill="U")
+    for j in range(1, size + 1):
+        m[j, j] = value
+    return m
+
+
+class TestBuildS:
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(PlanningError):
+            build_s_matrix(TriangularMatrix(2), TriangularMatrix(3))
+
+    def test_single_element_pattern(self):
+        s = build_s_matrix(diag(1), diag(1, "0"))
+        assert s.to_rows() == [[]]
+
+    def test_kmp_like_all_distinct(self):
+        """Mutually exclusive elements: every theta off-diagonal is 0, so
+        S rows are phi-driven for k = j-1 and 0 elsewhere."""
+        theta = TriangularMatrix.from_rows(
+            [["1"], ["0", "1"], ["0", "0", "1"]]
+        )
+        phi = TriangularMatrix.from_rows(
+            [["0"], ["1", "0"], ["U", "1", "0"]]
+        )
+        s = build_s_matrix(theta, phi)
+        # S[3,1] = theta[2,1] AND phi[3,2] = 0 AND 1 = 0
+        assert s[3, 1] is FALSE
+        # S[3,2] = phi[3,1] = U
+        assert s[3, 2] is UNKNOWN
+        assert s[2, 1] is TRUE  # = phi[2,1]
+
+    def test_kleene_and_semantics(self):
+        theta = TriangularMatrix.from_rows([["1"], ["U", "1"], ["1", "U", "1"]])
+        phi = TriangularMatrix.from_rows([["0"], ["U", "0"], ["1", "1", "0"]])
+        s = build_s_matrix(theta, phi)
+        # S[3,1] = theta[2,1] AND phi[3,2] = U AND 1 = U
+        assert s[3, 1] is UNKNOWN
+
+
+class TestShift:
+    def test_shift_is_smallest_nonzero_column(self, example4_pattern):
+        from repro.pattern.analysis import build_phi, build_theta
+
+        theta = build_theta(example4_pattern)
+        phi = build_phi(example4_pattern)
+        arrays, s = compute_shift_next(theta, phi)
+        for j in range(2, 5):
+            k = arrays.shift[j]
+            if k < j:
+                assert s[j, k] is not FALSE
+                for smaller in range(1, k):
+                    assert s[j, smaller] is FALSE
+
+    def test_all_zero_row_gives_shift_j(self):
+        theta = TriangularMatrix.from_rows([["1"], ["0", "1"]])
+        phi = TriangularMatrix.from_rows([["0"], ["0", "0"]])
+        arrays, _ = compute_shift_next(theta, phi)
+        assert arrays.shift[2] == 2
+        assert arrays.next_[2] == 0
+
+    def test_shift_1_is_always_1(self):
+        theta = diag(3)
+        phi = diag(3, "0")
+        arrays, _ = compute_shift_next(theta, phi)
+        assert arrays.shift[1] == 1 and arrays.next_[1] == 0
+
+
+class TestNext:
+    def test_s_true_gives_full_skip(self):
+        """S[j, shift] = 1 -> next = j - shift + 1 (skip the failed tuple)."""
+        theta = TriangularMatrix.from_rows([["1"], ["0", "1"]])
+        phi = TriangularMatrix.from_rows([["0"], ["1", "0"]])
+        arrays, _ = compute_shift_next(theta, phi)
+        assert arrays.shift[2] == 1
+        assert arrays.next_[2] == 2
+
+    def test_u_conjunct_selects_recheck_point(self):
+        """next points at the first U factor of the S conjunction."""
+        theta = TriangularMatrix.from_rows(
+            [["1"], ["1", "1"], ["U", "1", "1"], ["1", "1", "U", "1"]]
+        )
+        phi = TriangularMatrix.from_rows(
+            [["0"], ["U", "0"], ["U", "U", "0"], ["U", "U", "U", "0"]]
+        )
+        arrays, s = compute_shift_next(theta, phi)
+        # j=4, shift=1: conjuncts theta[2,1]=1, theta[3,2]=1, phi[4,3]=U
+        assert arrays.shift[4] == 1
+        assert arrays.next_[4] == 3
+
+    def test_next_bounds(self, example4_compiled):
+        cp = example4_compiled
+        for j in range(1, cp.m + 1):
+            shift = cp.shift(j)
+            if shift == j:
+                assert cp.next(j) == 0
+            else:
+                assert 1 <= cp.next(j) <= j - shift + 1
+
+
+class TestShiftNextContainer:
+    def test_length_validation(self):
+        with pytest.raises(PlanningError):
+            ShiftNext((0, 1), (0,))
+
+    def test_m(self):
+        assert ShiftNext((0, 1, 1), (0, 0, 1)).m == 2

@@ -1,0 +1,84 @@
+"""AST node behaviour: conjunct flattening, rendering, output names."""
+
+from repro.sqlts import ast
+
+
+def num(value):
+    return ast.NumberLit(value)
+
+
+def path(var, attr="price"):
+    return ast.VarPath(var, None, (), attr)
+
+
+def cmp_(op, left, right):
+    return ast.Comparison(op, left, right)
+
+
+class TestConjuncts:
+    def test_none_is_empty(self):
+        assert ast.conjuncts(None) == []
+
+    def test_single_comparison(self):
+        c = cmp_("<", path("X"), num(5))
+        assert ast.conjuncts(c) == [c]
+
+    def test_nested_ands_flatten(self):
+        a = cmp_("<", path("X"), num(1))
+        b = cmp_("<", path("Y"), num(2))
+        c = cmp_("<", path("Z"), num(3))
+        tree = ast.And(ast.And(a, b), c)
+        assert ast.conjuncts(tree) == [a, b, c]
+
+    def test_or_is_one_conjunct(self):
+        a = cmp_("<", path("X"), num(1))
+        b = cmp_("<", path("X"), num(2))
+        either = ast.Or(a, b)
+        assert ast.conjuncts(either) == [either]
+
+    def test_not_is_one_conjunct(self):
+        negated = ast.Not(cmp_("<", path("X"), num(1)))
+        assert ast.conjuncts(negated) == [negated]
+
+
+class TestRendering:
+    def test_varpath_forms(self):
+        assert str(ast.VarPath("X", None, (), "price")) == "X.price"
+        assert str(ast.VarPath("X", None, ("previous",), "price")) == "X.previous.price"
+        assert str(ast.VarPath("X", "first", (), "date")) == "FIRST(X).date"
+        assert str(ast.VarPath("Y", "last", ("next",), "date")) == "LAST(Y).next.date"
+
+    def test_literals(self):
+        assert str(num(5)) == "5"
+        assert str(num(1.15)) == "1.15"
+        assert str(ast.StringLit("IBM")) == "'IBM'"
+
+    def test_arithmetic(self):
+        expr = ast.BinOp("*", num(1.15), path("X"))
+        assert str(expr) == "(1.15 * X.price)"
+        assert str(ast.Neg(num(5))) == "(-5)"
+
+    def test_boolean(self):
+        a = cmp_("<", path("X"), num(1))
+        b = cmp_(">", path("Y"), num(2))
+        assert str(ast.And(a, b)) == "(X.price < 1 AND Y.price > 2)"
+        assert str(ast.Or(a, b)) == "(X.price < 1 OR Y.price > 2)"
+        assert str(ast.Not(a)) == "(NOT X.price < 1)"
+
+    def test_pattern_var(self):
+        assert str(ast.PatternVar("Y", star=True)) == "*Y"
+        assert str(ast.PatternVar("Y")) == "Y"
+
+
+class TestSelectItem:
+    def test_alias_wins(self):
+        item = ast.SelectItem(path("X"), alias="p")
+        assert item.output_name(3) == "p"
+
+    def test_varpath_renders(self):
+        item = ast.SelectItem(path("X"))
+        assert item.output_name(3) == "X.price"
+
+    def test_positional_fallback(self):
+        item = ast.SelectItem(ast.BinOp("+", num(1), num(2)))
+        assert item.output_name(3) == "col3"

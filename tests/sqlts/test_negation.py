@@ -1,0 +1,101 @@
+"""NOT normalization in the semantic analyzer."""
+
+import pytest
+
+from repro.pattern.predicates import (
+    AttributeDomains,
+    ComparisonCondition,
+    OrCondition,
+)
+from repro.sqlts.parser import parse_query
+from repro.sqlts.semantic import analyze
+
+DOMAINS = AttributeDomains.prices()
+
+
+def element(sql, name):
+    analyzed = analyze(parse_query(sql), DOMAINS)
+    return {e.name: e for e in analyzed.spec.elements}[name]
+
+
+class TestNotComparison:
+    def test_not_less_becomes_ge(self):
+        e = element(
+            "SELECT X.price FROM t AS (X, Y) "
+            "WHERE NOT Y.price < 10 AND X.price > 0",
+            "Y",
+        )
+        (condition,) = e.predicate.conditions
+        assert isinstance(condition, ComparisonCondition)
+        assert condition.op.value == ">="
+        assert not e.predicate.has_residual
+
+    def test_double_negation(self):
+        e = element(
+            "SELECT X.price FROM t AS (X, Y) "
+            "WHERE NOT (NOT Y.price < 10) AND X.price > 0",
+            "Y",
+        )
+        (condition,) = e.predicate.conditions
+        assert isinstance(condition, ComparisonCondition)
+        assert condition.op.value == "<"
+
+    def test_not_equality(self):
+        e = element(
+            "SELECT X.price FROM t AS (X, Y) "
+            "WHERE NOT Y.price = 10 AND X.price > 0",
+            "Y",
+        )
+        (condition,) = e.predicate.conditions
+        assert condition.op.value == "!="
+
+
+class TestDeMorgan:
+    def test_not_or_splits_into_conjuncts(self):
+        """NOT (a OR b) = NOT a AND NOT b: two analyzable conditions."""
+        e = element(
+            "SELECT X.price FROM t AS (X, Y) "
+            "WHERE NOT (Y.price < 10 OR Y.price > 90) AND X.price > 0",
+            "Y",
+        )
+        assert len(e.predicate.conditions) == 2
+        ops = sorted(c.op.value for c in e.predicate.conditions)
+        assert ops == ["<=", ">="]
+        assert not e.predicate.has_residual
+
+    def test_not_and_becomes_or_condition(self):
+        """NOT (a AND b) = NOT a OR NOT b: an analyzable OrCondition."""
+        e = element(
+            "SELECT X.price FROM t AS (X, Y) "
+            "WHERE NOT (Y.price > 10 AND Y.price < 90) AND X.price > 0",
+            "Y",
+        )
+        (condition,) = e.predicate.conditions
+        assert isinstance(condition, OrCondition)
+        assert not e.predicate.has_residual
+        assert len(e.predicate.symbolic) == 2
+
+
+class TestSemanticsPreserved:
+    def test_not_queries_run_identically_under_both_matchers(self):
+        import datetime as dt
+
+        from repro.engine.catalog import Catalog
+        from repro.engine.executor import Executor
+        from repro.engine.table import Table
+
+        table = Table("t", [("date", "date"), ("price", "float")])
+        base = dt.date(2000, 1, 3)
+        for offset, price in enumerate([5.0, 50.0, 95.0, 50.0, 5.0, 60.0]):
+            table.insert({"date": base + dt.timedelta(days=offset), "price": price})
+        catalog = Catalog([table])
+        query = """
+            SELECT A.date
+            FROM t SEQUENCE BY date AS (A, B)
+            WHERE NOT (A.price < 10 OR A.price > 90)
+              AND NOT B.price >= 90
+        """
+        ops = Executor(catalog, domains=DOMAINS, matcher="ops").execute(query)
+        naive = Executor(catalog, domains=DOMAINS, matcher="naive").execute(query)
+        assert ops == naive
+        assert len(ops) >= 1

@@ -1,0 +1,221 @@
+"""Semantic analysis: conjunct assignment, hoisting, symbolization, errors."""
+
+import pytest
+
+from repro.data import workloads
+from repro.errors import SemanticError
+from repro.pattern.predicates import (
+    AttributeDomains,
+    ComparisonCondition,
+    ResidualCondition,
+    StringEqualityCondition,
+)
+from repro.sqlts.parser import parse_query
+from repro.sqlts.semantic import analyze
+
+DOMAINS = AttributeDomains.prices()
+
+
+def analyzed(sql, domains=DOMAINS):
+    return analyze(parse_query(sql), domains)
+
+
+class TestAssignment:
+    def test_conjunct_goes_to_latest_variable(self):
+        aq = analyzed(workloads.EXAMPLE_1)
+        x, y, z = aq.spec.elements
+        assert len(x.predicate.conditions) == 0
+        assert len(y.predicate.conditions) == 1  # Y.price > 1.15*X.price
+        assert len(z.predicate.conditions) == 1
+
+    def test_multiple_conjuncts_per_element(self):
+        aq = analyzed(workloads.EXAMPLE_4)
+        by_name = {e.name: e for e in aq.spec.elements}
+        assert len(by_name["Z"].predicate.conditions) == 3
+        assert len(by_name["T"].predicate.conditions) == 2
+
+    def test_star_flags_carried(self):
+        aq = analyzed(workloads.EXAMPLE_9)
+        assert [e.star for e in aq.spec.elements] == [
+            True, False, True, True, False, True, False,
+        ]
+
+
+class TestClusterHoisting:
+    def test_cluster_by_attribute_condition_hoisted(self):
+        aq = analyzed(workloads.EXAMPLE_4)
+        assert len(aq.cluster_filter) == 1
+        assert "IBM" in str(aq.cluster_filter[0])
+        # ... and removed from the element predicate.
+        x = aq.spec.elements[0]
+        assert len(x.predicate.conditions) == 0
+
+    def test_not_hoisted_without_cluster_by(self):
+        aq = analyzed(
+            "SELECT X.price FROM t SEQUENCE BY date AS (X, Y) "
+            "WHERE X.name = 'IBM' AND Y.price > X.price"
+        )
+        assert aq.cluster_filter == ()
+        assert len(aq.spec.elements[0].predicate.conditions) == 1
+
+    def test_non_cluster_attribute_not_hoisted(self):
+        aq = analyzed(
+            "SELECT X.price FROM t CLUSTER BY name SEQUENCE BY date AS (X, Y) "
+            "WHERE X.price = 10 AND Y.price > X.price"
+        )
+        assert aq.cluster_filter == ()
+
+
+class TestSymbolization:
+    def _element(self, sql, name):
+        aq = analyzed(sql)
+        return {e.name: e for e in aq.spec.elements}[name]
+
+    def test_own_previous_reference(self):
+        element = self._element(
+            "SELECT X.price FROM t AS (X, Y) "
+            "WHERE Y.price < Y.previous.price AND X.price > 0",
+            "Y",
+        )
+        (condition,) = element.predicate.conditions
+        assert isinstance(condition, ComparisonCondition)
+        assert not element.predicate.has_residual
+
+    def test_adjacent_variable_becomes_offset(self):
+        element = self._element(
+            "SELECT X.price FROM t AS (X, Y) WHERE Y.price < X.price "
+            "AND X.price > 0",
+            "Y",
+        )
+        (condition,) = element.predicate.conditions
+        assert isinstance(condition, ComparisonCondition)
+        # X resolves to offset -1 from Y.
+        attrs = {condition.left.attr, condition.right.attr}
+        offsets = {attr.offset for attr in attrs if attr is not None}
+        assert offsets == {0, -1}
+
+    def test_distance_two_reference_offsets(self):
+        element = self._element(
+            "SELECT X.price FROM t AS (X, Y, Z) WHERE Z.price < X.price "
+            "AND X.price > 0 AND Y.price > 0",
+            "Z",
+        )
+        (condition,) = element.predicate.conditions
+        assert isinstance(condition, ComparisonCondition)
+        offsets = {
+            term.attr.offset
+            for term in (condition.left, condition.right)
+            if term.attr is not None
+        }
+        assert -2 in offsets
+
+    def test_reference_across_star_is_residual(self):
+        element = self._element(
+            "SELECT X.price FROM t AS (X, *Y, Z) "
+            "WHERE Y.price < Y.previous.price AND Z.price < X.price",
+            "Z",
+        )
+        (condition,) = element.predicate.conditions
+        assert isinstance(condition, ResidualCondition)
+        assert element.predicate.has_residual
+
+    def test_multiplicative_rewrite_with_positive_domain(self):
+        element = self._element(
+            "SELECT X.price FROM t AS (X, Y) WHERE Y.price > 1.15 * X.price "
+            "AND X.price > 0",
+            "Y",
+        )
+        (condition,) = element.predicate.conditions
+        assert isinstance(condition, ComparisonCondition)
+        atoms = condition.symbolic_atoms(DOMAINS)
+        assert atoms is not None and "price@0/price@-1" in str(atoms[0])
+
+    def test_multiplicative_without_positive_domain_is_unanalyzable(self):
+        aq = analyze(
+            parse_query(
+                "SELECT X.price FROM t AS (X, Y) WHERE Y.price > 1.15 * X.price"
+            ),
+            AttributeDomains.none(),
+        )
+        element = aq.spec.elements[1]
+        # Runtime-evaluable but symbolically opaque.
+        assert element.predicate.has_residual
+
+    def test_string_condition(self):
+        element = self._element(
+            "SELECT X.price FROM t AS (X, Y) WHERE Y.name = 'IBM' "
+            "AND X.price > 0",
+            "Y",
+        )
+        (condition,) = element.predicate.conditions
+        assert isinstance(condition, StringEqualityCondition)
+
+    def test_or_condition_becomes_analyzable_dnf(self):
+        """Section 8 extension: OR conjuncts symbolize into a DNF."""
+        from repro.pattern.predicates import OrCondition
+
+        element = self._element(
+            "SELECT X.price FROM t AS (X, Y) "
+            "WHERE (Y.price < 10 OR Y.price > 90) AND X.price > 0",
+            "Y",
+        )
+        (condition,) = element.predicate.conditions
+        assert isinstance(condition, OrCondition)
+        assert not element.predicate.has_residual
+        assert len(element.predicate.symbolic) == 2
+
+    def test_or_with_opaque_leaf_is_residual(self):
+        element = self._element(
+            "SELECT X.price FROM t AS (X, *Y, Z) "
+            "WHERE Y.price < Y.previous.price "
+            "AND (Z.price < X.price OR Z.price > 90)",
+            "Z",
+        )
+        (condition,) = element.predicate.conditions
+        assert isinstance(condition, ResidualCondition)
+        assert element.predicate.has_residual
+
+    def test_first_last_in_where_is_residual(self):
+        element = self._element(
+            "SELECT X.price FROM t AS (*X, Y) "
+            "WHERE X.price > X.previous.price AND Y.price > FIRST(X).price",
+            "Y",
+        )
+        (condition,) = element.predicate.conditions
+        assert isinstance(condition, ResidualCondition)
+
+
+class TestErrors:
+    def test_unknown_variable(self):
+        with pytest.raises(SemanticError):
+            analyzed("SELECT X.price FROM t AS (X) WHERE Q.price > 1")
+
+    def test_unknown_variable_in_select(self):
+        with pytest.raises(SemanticError):
+            analyzed("SELECT Q.price FROM t AS (X) WHERE X.price > 1")
+
+    def test_duplicate_pattern_variables(self):
+        with pytest.raises(SemanticError):
+            analyzed("SELECT X.price FROM t AS (X, X) WHERE X.price > 1")
+
+    def test_condition_without_variables(self):
+        with pytest.raises(SemanticError):
+            analyzed("SELECT X.price FROM t AS (X) WHERE 1 < 2")
+
+    def test_first_on_unstarred_variable(self):
+        with pytest.raises(SemanticError):
+            analyzed("SELECT FIRST(X).price FROM t AS (X) WHERE X.price > 1")
+
+
+class TestPaperExamplesAnalyze:
+    @pytest.mark.parametrize("name", sorted(workloads.ALL_EXAMPLES))
+    def test_all_examples_analyze(self, name):
+        aq = analyzed(workloads.ALL_EXAMPLES[name])
+        assert len(aq.spec) == len(aq.query.pattern)
+
+    def test_example10_fully_symbolic(self):
+        """Every double-bottom conjunct must be analyzable (the whole
+        Section 6 point of the ratio rewrite)."""
+        aq = analyzed(workloads.EXAMPLE_10)
+        for element in aq.spec.elements:
+            assert not element.predicate.has_residual, element.name

@@ -1,0 +1,169 @@
+"""The command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+QUERY = (
+    "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y, Z) "
+    "WHERE Y.price > 1.15 * X.price AND Z.price < 0.80 * Y.price"
+)
+
+
+@pytest.fixture
+def quotes_csv(tmp_path):
+    path = tmp_path / "quotes.csv"
+    path.write_text(
+        "name,date,price\n"
+        "IBM,1999-01-25,100.0\n"
+        "IBM,1999-01-26,120.0\n"
+        "IBM,1999-01-27,90.0\n"
+        "INTC,1999-01-25,60.0\n"
+        "INTC,1999-01-26,61.0\n"
+        "INTC,1999-01-27,62.0\n"
+    )
+    return path
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestQuery:
+    def test_csv_query(self, quotes_csv):
+        code, output = run_cli(
+            "query",
+            "--table",
+            f"quote={quotes_csv}:name:str,date:date,price:float",
+            "--positive",
+            "price",
+            QUERY,
+        )
+        assert code == 0
+        assert "IBM" in output
+        assert "(1 rows)" in output
+
+    def test_stats_flag(self, quotes_csv):
+        code, output = run_cli(
+            "query",
+            "--table",
+            f"quote={quotes_csv}:name:str,date:date,price:float",
+            "--positive",
+            "price",
+            "--stats",
+            QUERY,
+        )
+        assert code == 0
+        assert "predicate_tests=" in output
+        assert "speedup=" in output
+
+    def test_matcher_selection(self, quotes_csv):
+        code, output = run_cli(
+            "query",
+            "--table",
+            f"quote={quotes_csv}:name:str,date:date,price:float",
+            "--matcher",
+            "naive",
+            QUERY,
+        )
+        assert code == 0
+        assert "IBM" in output
+
+    def test_demo_data(self):
+        code, output = run_cli(
+            "query",
+            "--demo-data",
+            "--positive",
+            "price",
+            "--max-rows",
+            "3",
+            "SELECT X.date FROM djia SEQUENCE BY date AS (X, Y) "
+            "WHERE Y.price < 0.97 * X.price",
+        )
+        assert code == 0
+        assert "rows)" in output
+
+    def test_unknown_table_is_clean_error(self, capsys):
+        code, _ = run_cli("query", "SELECT X.a FROM nosuch AS (X) WHERE X.a > 1")
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_syntax_error_is_clean_error(self, capsys):
+        code, _ = run_cli("query", "--demo-data", "SELECT FROM WHERE")
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_plan_output(self):
+        code, output = run_cli(
+            "explain",
+            "--positive",
+            "price",
+            "SELECT X.date FROM djia SEQUENCE BY date AS (X, *Y, Z) "
+            "WHERE Y.price < Y.previous.price AND Z.price > Z.previous.price",
+        )
+        assert code == 0
+        assert "shift:" in output and "next:" in output
+        assert "implication graph" in output
+
+    def test_cluster_filter_shown(self, quotes_csv):
+        code, output = run_cli(
+            "explain",
+            "--table",
+            f"quote={quotes_csv}:name:str,date:date,price:float",
+            "SELECT X.date FROM quote CLUSTER BY name SEQUENCE BY date "
+            "AS (X, Y) WHERE X.name = 'IBM' AND Y.price > X.price",
+        )
+        assert code == 0
+        assert "cluster filter" in output and "IBM" in output
+
+
+class TestArgumentParsing:
+    def test_bad_table_spec(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--table", "nonsense", "SELECT X.a FROM t AS (X) WHERE X.a>1"])
+
+    def test_bad_column_type(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query",
+                    "--table",
+                    "t=f.csv:a:varchar",
+                    "SELECT X.a FROM t AS (X) WHERE X.a>1",
+                ]
+            )
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestScript:
+    def test_script_subcommand(self, tmp_path):
+        script = tmp_path / "session.sql"
+        script.write_text(
+            "CREATE TABLE quote ( name Varchar(8), date Date, price Real );\n"
+            "INSERT INTO quote VALUES ('IBM', '1999-01-25', 100.0);\n"
+            "INSERT INTO quote VALUES ('IBM', '1999-01-26', 120.0);\n"
+            "INSERT INTO quote VALUES ('IBM', '1999-01-27', 90.0);\n"
+            "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+            "AS (X, Y, Z) "
+            "WHERE Y.price > 1.15 * X.price AND Z.price < 0.80 * Y.price\n"
+        )
+        code, output = run_cli("script", str(script), "--positive", "price")
+        assert code == 0
+        assert "IBM" in output and "(1 rows)" in output
+
+    def test_script_error_is_clean(self, tmp_path, capsys):
+        script = tmp_path / "bad.sql"
+        script.write_text("INSERT INTO nosuch VALUES (1)")
+        code, _ = run_cli("script", str(script))
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,103 @@
+"""The public surface: top-level exports, errors, core value types."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConstraintError,
+    ExecutionError,
+    PlanningError,
+    ReproError,
+    SchemaError,
+    SemanticError,
+    SqlTsSyntaxError,
+)
+from repro.match.base import Instrumentation, Match, Span
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_docstring_pattern_compiles(self):
+        """The README/docstring quickstart must actually run."""
+        import datetime as dt
+
+        table = repro.Table(
+            "quote", [("name", "str"), ("date", "date"), ("price", "float")]
+        )
+        day = dt.date(1999, 1, 25)
+        for offset, price in enumerate([100.0, 120.0, 90.0]):
+            table.insert(
+                {"name": "IBM", "date": day + dt.timedelta(days=offset), "price": price}
+            )
+        executor = repro.Executor(
+            repro.Catalog([table]), domains=repro.AttributeDomains.prices()
+        )
+        result = executor.execute(
+            """
+            SELECT X.name, Y.date AS spike_day
+            FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y, Z)
+            WHERE Y.price > 1.15 * X.price AND Z.price < 0.80 * Y.price
+            """
+        )
+        assert result.rows == (("IBM", day + dt.timedelta(days=1)),)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_cls",
+        [
+            SqlTsSyntaxError,
+            SemanticError,
+            PlanningError,
+            ExecutionError,
+            SchemaError,
+            ConstraintError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_cls):
+        assert issubclass(error_cls, ReproError)
+
+    def test_syntax_error_location_formatting(self):
+        error = SqlTsSyntaxError("boom", line=3, column=7)
+        assert "line 3" in str(error) and "column 7" in str(error)
+        assert (error.line, error.column) == (3, 7)
+
+    def test_syntax_error_without_location(self):
+        assert str(SqlTsSyntaxError("boom")) == "boom"
+
+    def test_one_except_catches_everything(self):
+        caught = 0
+        for error in (SemanticError("a"), SchemaError("b"), PlanningError("c")):
+            try:
+                raise error
+            except ReproError:
+                caught += 1
+        assert caught == 3
+
+
+class TestSpanAndMatch:
+    def test_span_validation(self):
+        with pytest.raises(ValueError):
+            Span(3, 2)
+        assert Span(2, 2).length == 1
+        assert Span(2, 5).length == 4
+
+    def test_match_bindings_roundtrip(self):
+        match = Match(0, 3, (Span(0, 1), Span(2, 3)), ("A", "B"))
+        assert match.bindings() == {"A": Span(0, 1), "B": Span(2, 3)}
+        assert match.span_of("A") == Span(0, 1)
+
+    def test_instrumentation_repr(self):
+        inst = Instrumentation(record_trace=True)
+        inst.record(0, 1)
+        assert "tests=1" in repr(inst)
+        assert "trace[1]" in repr(inst)
+        bare = Instrumentation()
+        bare.record(5, 2)
+        assert "trace" not in repr(bare)
