@@ -45,16 +45,25 @@ from repro.engine.table import Column, Schema, Table
 from repro.errors import (
     ConstraintError,
     ExecutionError,
+    LimitExceeded,
     PlanningError,
     ReproError,
     SchemaError,
     SemanticError,
     SqlTsSyntaxError,
+    StatementError,
 )
 from repro.match.base import Instrumentation, Match, Span
 from repro.pattern.compiler import CompiledPattern, compile_pattern
 from repro.pattern.predicates import AttributeDomains
 from repro.pattern.spec import PatternElement, PatternSpec
+from repro.resilience import (
+    Budget,
+    Diagnostics,
+    ErrorPolicy,
+    QuarantinedRow,
+    ResourceLimits,
+)
 from repro.sqlts.parser import parse_query
 from repro.sqlts.semantic import analyze
 
@@ -80,6 +89,11 @@ __all__ = [
     "AttributeDomains",
     "parse_query",
     "analyze",
+    "ErrorPolicy",
+    "ResourceLimits",
+    "Diagnostics",
+    "QuarantinedRow",
+    "Budget",
     "ReproError",
     "SqlTsSyntaxError",
     "SemanticError",
@@ -87,5 +101,7 @@ __all__ = [
     "ExecutionError",
     "SchemaError",
     "ConstraintError",
+    "LimitExceeded",
+    "StatementError",
     "__version__",
 ]

@@ -35,9 +35,13 @@ from repro.engine.catalog import Catalog
 from repro.engine.csv_io import load_csv
 from repro.engine.executor import Executor
 from repro.engine.table import Schema
-from repro.errors import ReproError
+from repro.errors import ExecutionError, ReproError
 from repro.match.base import Instrumentation
 from repro.pattern.predicates import AttributeDomains
+from repro.resilience import Diagnostics, ErrorPolicy, ResourceLimits
+
+#: Exit code when a resource limit cut the query short (results partial).
+EXIT_LIMIT_HIT = 3
 
 
 def _parse_table_spec(spec: str) -> tuple[str, str, Schema]:
@@ -64,7 +68,9 @@ def _parse_table_spec(spec: str) -> tuple[str, str, Schema]:
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
-def _build_catalog(args: argparse.Namespace) -> Catalog:
+def _build_catalog(
+    args: argparse.Namespace, diagnostics: Optional[Diagnostics] = None
+) -> Catalog:
     catalog = Catalog()
     if args.demo_data:
         from repro.data.djia import djia_table
@@ -72,9 +78,22 @@ def _build_catalog(args: argparse.Namespace) -> Catalog:
 
         catalog.register(djia_table())
         catalog.register(quote_table())
+    policy = getattr(args, "on_error", "raise")
     for name, path, schema in args.table:
-        catalog.register(load_csv(path, name, schema))
+        catalog.register(
+            load_csv(path, name, schema, policy=policy, diagnostics=diagnostics)
+        )
     return catalog
+
+
+def _limits_from_args(args: argparse.Namespace) -> ResourceLimits:
+    try:
+        return ResourceLimits(
+            max_matches=args.max_matches,
+            wall_clock_deadline=args.timeout,
+        )
+    except ValueError as error:
+        raise ExecutionError(str(error)) from None
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -103,13 +122,23 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _command_query(args: argparse.Namespace, out) -> int:
-    catalog = _build_catalog(args)
+    diagnostics = Diagnostics()
+    catalog = _build_catalog(args, diagnostics)
     domains = AttributeDomains(args.positive)
-    executor = Executor(catalog, domains=domains, matcher=args.matcher)
+    executor = Executor(
+        catalog,
+        domains=domains,
+        matcher=args.matcher,
+        policy=args.on_error,
+        limits=_limits_from_args(args),
+    )
     instrumentation = Instrumentation()
     result, report = executor.execute_with_report(args.sql, instrumentation)
+    diagnostics.merge(report.diagnostics)
     print(result.pretty(max_rows=args.max_rows), file=out)
     print(f"({len(result)} rows)", file=out)
+    if not diagnostics.ok:
+        print(diagnostics.summary(), file=sys.stderr)
     if args.stats:
         print(file=out)
         print(
@@ -130,7 +159,7 @@ def _command_query(args: argparse.Namespace, out) -> int:
                     f"naive_tests={naive_inst.tests} speedup={speedup:.2f}x",
                     file=out,
                 )
-    return 0
+    return EXIT_LIMIT_HIT if diagnostics.limit_hit else 0
 
 
 def _command_explain(args: argparse.Namespace, out) -> int:
@@ -179,6 +208,30 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--max-rows", type=int, default=20, help="rows to display (default 20)"
     )
+    query.add_argument(
+        "--on-error",
+        choices=[policy.value for policy in ErrorPolicy],
+        default="raise",
+        help="how to treat malformed rows and unplannable patterns: "
+        "raise aborts (default), skip quarantines and continues, "
+        "collect additionally retains the error objects",
+    )
+    query.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline; on expiry the query returns partial "
+        f"results and exits with code {EXIT_LIMIT_HIT}",
+    )
+    query.add_argument(
+        "--max-matches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N matches (kept); exits with code "
+        f"{EXIT_LIMIT_HIT} when the cap is hit",
+    )
     query.set_defaults(func=_command_query)
 
     explain = subparsers.add_parser(
@@ -205,6 +258,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="ops",
         help="evaluation strategy (default: ops)",
     )
+    script.add_argument(
+        "--on-error",
+        choices=[policy.value for policy in ErrorPolicy],
+        default="raise",
+        help="raise aborts on the first failing statement (default); "
+        "skip/collect quarantine bad rows, and collect also continues "
+        "past failing statements",
+    )
     script.set_defaults(func=_command_script)
     return parser
 
@@ -215,13 +276,17 @@ def _command_script(args: argparse.Namespace, out) -> int:
     with open(args.path) as handle:
         text = handle.read()
     session = Session(
-        domains=AttributeDomains(args.positive), matcher=args.matcher
+        domains=AttributeDomains(args.positive),
+        matcher=args.matcher,
+        policy=args.on_error,
     )
     for result in session.run_script(text):
         print(result.pretty(), file=out)
         print(f"({len(result)} rows)", file=out)
         print(file=out)
-    return 0
+    if not session.diagnostics.ok:
+        print(session.diagnostics.summary(), file=sys.stderr)
+    return EXIT_LIMIT_HIT if session.diagnostics.limit_hit else 0
 
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:

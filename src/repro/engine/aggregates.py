@@ -21,6 +21,7 @@ from typing import Iterable, Iterator, Mapping, Optional, Sequence
 from repro.errors import ExecutionError
 from repro.match.base import Instrumentation, Match, Matcher
 from repro.pattern.compiler import CompiledPattern
+from repro.resilience import Budget, Diagnostics, ResourceLimits
 
 
 class UserDefinedAggregate:
@@ -127,10 +128,12 @@ class PatternSearchAggregate(UserDefinedAggregate):
         pattern: CompiledPattern,
         matcher: Matcher,
         instrumentation: Optional[Instrumentation] = None,
+        budget: Optional[Budget] = None,
     ):
         self._pattern = pattern
         self._matcher = matcher
         self._instrumentation = instrumentation
+        self._budget = budget
         self._buffer: list[Mapping[str, object]] = []
 
     def initialize(self) -> None:
@@ -141,8 +144,15 @@ class PatternSearchAggregate(UserDefinedAggregate):
         return ()
 
     def terminate(self) -> Iterable[Match]:
+        if self._budget is None:
+            # Positional call keeps compatibility with third-party
+            # matchers written against the pre-budget interface.
+            return self._matcher.find_matches(
+                self._buffer, self._pattern, self._instrumentation
+            )
         return self._matcher.find_matches(
-            self._buffer, self._pattern, self._instrumentation
+            self._buffer, self._pattern, self._instrumentation,
+            budget=self._budget,
         )
 
     @property
@@ -163,16 +173,28 @@ class StreamingPatternAggregate(UserDefinedAggregate):
         self,
         pattern: CompiledPattern,
         instrumentation: Optional[Instrumentation] = None,
+        limits: Optional[ResourceLimits] = None,
+        diagnostics: Optional[Diagnostics] = None,
+        overflow: str = "raise",
     ):
         self._pattern = pattern
         self._instrumentation = instrumentation
+        self._limits = limits
+        self._diagnostics = diagnostics
+        self._overflow = overflow
         self._matcher: Optional["OpsStreamMatcher"] = None
         self.initialize()
 
     def initialize(self) -> None:
         from repro.match.streaming import OpsStreamMatcher
 
-        self._matcher = OpsStreamMatcher(self._pattern, self._instrumentation)
+        self._matcher = OpsStreamMatcher(
+            self._pattern,
+            self._instrumentation,
+            limits=self._limits,
+            diagnostics=self._diagnostics,
+            overflow=self._overflow,
+        )
 
     def iterate(self, row: Mapping[str, object]) -> Iterable[Match]:
         assert self._matcher is not None

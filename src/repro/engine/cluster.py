@@ -4,26 +4,40 @@
 ordered), and data in each group are sorted by their SEQUENCE BY
 attribute(s)."  Clusters are yielded in first-appearance order of their
 key; with no CLUSTER BY the whole table is a single cluster.
+
+The stable re-sort is part of the language semantics, so the default
+(strict) behavior is unchanged from the seed.  Under a lenient
+:class:`~repro.resilience.ErrorPolicy` the grouping additionally audits
+sequence-key integrity per cluster: out-of-order input is re-sorted with
+a warning recorded in :class:`~repro.resilience.Diagnostics`, and
+duplicate SEQUENCE BY keys — which make the match semantics
+order-dependent — are warned about (``COLLECT``) or dropped after the
+first occurrence with a quarantine entry (``SKIP``).
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, Sequence
+from typing import Iterator, Mapping, Optional, Sequence, Union
 
 from repro.engine.table import Table
 from repro.errors import ExecutionError
+from repro.resilience import Diagnostics, ErrorPolicy
 
 
 def clusters_of(
     table: Table,
     cluster_by: Sequence[str],
     sequence_by: Sequence[str],
+    *,
+    policy: Union[ErrorPolicy, str] = ErrorPolicy.RAISE,
+    diagnostics: Optional[Diagnostics] = None,
 ) -> Iterator[tuple[tuple[object, ...], list[dict[str, object]]]]:
     """Yield ``(key, sorted_rows)`` per cluster.
 
     ``key`` is the tuple of CLUSTER BY values (empty tuple when there is
     no CLUSTER BY clause).
     """
+    policy = ErrorPolicy.coerce(policy)
     for name in (*cluster_by, *sequence_by):
         if name not in table.schema:
             raise ExecutionError(
@@ -36,8 +50,59 @@ def clusters_of(
         groups.setdefault(key, []).append(row)
     for key, rows in groups.items():
         if sequence_by:
-            rows = sorted(rows, key=lambda row: _sort_key(row, sequence_by))
+            if policy.lenient:
+                rows = _audit_sequence(
+                    table.name, key, rows, sequence_by, policy, diagnostics
+                )
+            else:
+                rows = sorted(rows, key=lambda row: _sort_key(row, sequence_by))
         yield key, rows
+
+
+def _audit_sequence(
+    table_name: str,
+    key: tuple[object, ...],
+    rows: list[dict[str, object]],
+    sequence_by: Sequence[str],
+    policy: ErrorPolicy,
+    diagnostics: Optional[Diagnostics],
+) -> list[dict[str, object]]:
+    """Sort one cluster, reporting out-of-order and duplicate keys."""
+    keys = [_sort_key(row, sequence_by) for row in rows]
+    out_of_order = any(a > b for a, b in zip(keys, keys[1:]))
+    ordered = sorted(zip(keys, rows), key=lambda pair: pair[0])
+    label = f"cluster {key!r}" if key else "the single cluster"
+    if out_of_order and diagnostics is not None:
+        diagnostics.warn(
+            f"table {table_name!r}, {label}: SEQUENCE BY "
+            f"{tuple(sequence_by)} keys arrived out of order; "
+            "stably re-sorted"
+        )
+    duplicates = sum(a == b for (a, _), (b, _) in zip(ordered, ordered[1:]))
+    if duplicates:
+        if policy is ErrorPolicy.SKIP:
+            deduped: list[dict[str, object]] = []
+            last_key: object = object()
+            for sort_key, row in ordered:
+                if sort_key == last_key:
+                    if diagnostics is not None:
+                        diagnostics.quarantine(
+                            f"table {table_name!r}",
+                            0,
+                            f"{label}: duplicate SEQUENCE BY key {sort_key!r}",
+                            tuple(row.values()),
+                        )
+                    continue
+                last_key = sort_key
+                deduped.append(row)
+            return deduped
+        if diagnostics is not None:
+            diagnostics.warn(
+                f"table {table_name!r}, {label}: {duplicates} duplicate "
+                f"SEQUENCE BY key(s); match results depend on their "
+                "relative order"
+            )
+    return [row for _, row in ordered]
 
 
 def _sort_key(row: Mapping[str, object], sequence_by: Sequence[str]) -> tuple:

@@ -2,20 +2,36 @@
 
 Values are converted according to the schema: ``int`` and ``float`` via
 the obvious constructors, ``date`` via ISO-8601 (``YYYY-MM-DD``).
+
+Parse failures carry full context (file path, 1-based line number,
+column, offending value) as :class:`~repro.errors.SchemaError`, and
+:func:`load_csv` accepts an :class:`~repro.resilience.ErrorPolicy`:
+under ``SKIP``/``COLLECT`` malformed rows — unparseable values,
+truncated rows, extra columns, non-finite floats — are quarantined into
+a :class:`~repro.resilience.Diagnostics` record instead of aborting the
+load.  The default ``RAISE`` policy keeps strict fail-fast behavior.
 """
 
 from __future__ import annotations
 
 import csv
 import datetime as _dt
+import math
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from repro.engine.table import Schema, Table
 from repro.errors import SchemaError
+from repro.resilience import Diagnostics, ErrorPolicy
+
+#: Sentinel DictReader fills in for missing trailing cells.
+_MISSING = object()
+#: Key DictReader files extra trailing cells under.
+_EXTRA = "__extra_cells__"
 
 
 def _parse(value: str, type_name: str) -> object:
+    """Convert one CSV cell; context-free (see :func:`_parse_cell`)."""
     if type_name == "str":
         return value
     if type_name == "int":
@@ -27,30 +43,125 @@ def _parse(value: str, type_name: str) -> object:
     raise SchemaError(f"unknown column type {type_name!r}")
 
 
+def _parse_cell(
+    value: str, type_name: str, *, path: str, line: int, column: str
+) -> object:
+    """Convert one cell, wrapping failures in a contextual SchemaError."""
+    try:
+        return _parse(value, type_name)
+    except (ValueError, TypeError) as error:
+        raise SchemaError(
+            f"{path}:{line}: column {column!r}: "
+            f"cannot parse {value!r} as {type_name} ({error})"
+        ) from error
+
+
 def _render(value: object) -> str:
     if isinstance(value, _dt.date):
         return value.isoformat()
     return str(value)
 
 
-def load_csv(path: Union[str, Path], name: str, schema: Schema) -> Table:
-    """Load a CSV file (with header row) into a new table."""
+def load_csv(
+    path: Union[str, Path],
+    name: str,
+    schema: Schema,
+    *,
+    policy: Union[ErrorPolicy, str] = ErrorPolicy.RAISE,
+    diagnostics: Optional[Diagnostics] = None,
+) -> Table:
+    """Load a CSV file (with header row) into a new table.
+
+    Under the default ``RAISE`` policy any malformed row aborts the load
+    with a :class:`~repro.errors.SchemaError` naming the file, 1-based
+    line, column, and offending value.  Under ``SKIP``/``COLLECT`` the
+    row is quarantined into ``diagnostics`` (with the same context) and
+    loading continues; ``COLLECT`` additionally retains the error object.
+    A missing header or missing schema columns always raise — there is
+    no row-level recovery from a broken header.
+    """
+    policy = ErrorPolicy.coerce(policy)
+    sink = diagnostics if diagnostics is not None else Diagnostics()
     table = Table(name, schema)
     with open(path, newline="") as handle:
-        reader = csv.DictReader(handle)
+        reader = csv.DictReader(handle, restkey=_EXTRA, restval=_MISSING)
         if reader.fieldnames is None:
             raise SchemaError(f"{path}: empty CSV file")
         missing = set(schema.names) - set(reader.fieldnames)
         if missing:
             raise SchemaError(f"{path}: missing columns {sorted(missing)}")
         for record in reader:
-            table.insert(
-                {
-                    column.name: _parse(record[column.name], column.type)
-                    for column in schema.columns
-                }
-            )
+            line = reader.line_num
+            try:
+                table.insert(
+                    _convert_record(
+                        record,
+                        schema,
+                        str(path),
+                        line,
+                        reject_non_finite=policy.lenient,
+                    )
+                )
+            except SchemaError as error:
+                if not policy.lenient:
+                    raise
+                values = tuple(
+                    record[column]
+                    for column in schema.names
+                    if record.get(column) is not _MISSING
+                )
+                # QuarantinedRow prepends source:line, so strip the
+                # prefix the contextual message already carries.
+                reason = str(error)
+                prefix = f"{path}:{line}: "
+                if reason.startswith(prefix):
+                    reason = reason[len(prefix) :]
+                sink.quarantine(str(path), line, reason, values)
+                if policy is ErrorPolicy.COLLECT:
+                    sink.record_error(line, f"{path}:{line}", error)
     return table
+
+
+def _convert_record(
+    record: dict,
+    schema: Schema,
+    path: str,
+    line: int,
+    *,
+    reject_non_finite: bool = False,
+) -> dict[str, object]:
+    """Convert one DictReader record, rejecting short and long rows.
+
+    ``reject_non_finite`` additionally treats NaN/inf floats as errors —
+    the lenient policies quarantine such rows as dirty data, while the
+    strict default keeps the seed's permissive float parsing.
+    """
+    if _EXTRA in record:
+        extra = record[_EXTRA]
+        raise SchemaError(
+            f"{path}:{line}: row has {len(extra)} extra column(s): {extra!r}"
+        )
+    row: dict[str, object] = {}
+    for column in schema.columns:
+        raw = record[column.name]
+        if raw is _MISSING or raw is None:
+            raise SchemaError(
+                f"{path}:{line}: truncated row is missing column {column.name!r}"
+            )
+        value = _parse_cell(
+            raw, column.type, path=path, line=line, column=column.name
+        )
+        if (
+            reject_non_finite
+            and isinstance(value, float)
+            and not math.isfinite(value)
+        ):
+            raise SchemaError(
+                f"{path}:{line}: column {column.name!r}: "
+                f"non-finite value {raw!r}"
+            )
+        row[column.name] = value
+    return row
 
 
 def save_csv(table: Table, path: Union[str, Path]) -> None:

@@ -9,24 +9,37 @@ The matcher is pluggable (``"ops"`` — the default, star-capable OPS
 runtime — or ``"naive"``), and an :class:`~repro.match.base.Instrumentation`
 can be threaded through to count predicate evaluations, which is how the
 benchmark harness reproduces the paper's speedup numbers.
+
+Resilience (see ``docs/resilience.md``): an
+:class:`~repro.resilience.ErrorPolicy` and
+:class:`~repro.resilience.ResourceLimits` can be supplied.  Under a
+lenient policy, OPS compilation failures and star-capability mismatches
+degrade to the ``fallback`` matcher (default ``"naive"``) instead of
+raising — identical matches, more predicate tests — and every limit in
+``limits`` is enforced by a :class:`~repro.resilience.Budget` threaded
+into the matcher loops, so a runaway query returns partial results with
+a limit diagnostic instead of hanging.  The default ``RAISE`` policy
+with no limits behaves exactly like the seed executor.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.engine.aggregates import PatternSearchAggregate, apply_aggregate
 from repro.engine.catalog import Catalog
 from repro.engine.cluster import clusters_of
 from repro.engine.result import Result
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, PlanningError
 from repro.match.backtracking import BacktrackingMatcher
 from repro.match.base import Instrumentation, Match, Matcher
 from repro.match.naive import NaiveMatcher
+from repro.match.ops import OpsMatcher
 from repro.match.ops_star import OpsStarMatcher
-from repro.pattern.compiler import CompiledPattern, compile_pattern
+from repro.pattern.compiler import CompiledPattern, compile_pattern, degraded_pattern
 from repro.pattern.predicates import AttributeDomains
+from repro.resilience import Budget, Diagnostics, ErrorPolicy, ResourceLimits
 from repro.sqlts import ast
 from repro.sqlts.expressions import evaluate_condition, evaluate_expr
 from repro.sqlts.parser import parse_query
@@ -34,9 +47,14 @@ from repro.sqlts.semantic import AnalyzedQuery, analyze
 
 MATCHERS: dict[str, type] = {
     "ops": OpsStarMatcher,
+    "ops-nonstar": OpsMatcher,
     "naive": NaiveMatcher,
     "backtracking": BacktrackingMatcher,
 }
+
+#: Matchers that ignore shift/next and are therefore safe for degraded
+#: plans (restart-based scans).
+_RESTART_MATCHERS = ("naive", "backtracking")
 
 
 @dataclass
@@ -50,6 +68,15 @@ class ExecutionReport:
     predicate_tests: int
     matches: int
     pattern: CompiledPattern
+    diagnostics: Diagnostics = field(default_factory=Diagnostics)
+
+    @property
+    def limit_hit(self) -> bool:
+        return self.diagnostics.limit_hit
+
+    @property
+    def degraded(self) -> bool:
+        return self.diagnostics.degraded
 
 
 class Executor:
@@ -60,10 +87,21 @@ class Executor:
         catalog: Catalog,
         domains: Optional[AttributeDomains] = None,
         matcher: Union[str, Matcher] = "ops",
+        policy: Union[ErrorPolicy, str] = ErrorPolicy.RAISE,
+        limits: Optional[ResourceLimits] = None,
+        fallback: Optional[str] = "naive",
     ):
         self._catalog = catalog
         self._domains = domains if domains is not None else AttributeDomains.none()
         self._matcher_name, self._matcher = _resolve_matcher(matcher)
+        self._policy = ErrorPolicy.coerce(policy)
+        self._limits = limits if limits is not None else ResourceLimits()
+        if fallback is not None and fallback not in _RESTART_MATCHERS:
+            raise ExecutionError(
+                f"fallback matcher must be restart-based "
+                f"{_RESTART_MATCHERS}, got {fallback!r}"
+            )
+        self._fallback = fallback
 
     def prepare(self, query: Union[str, ast.Query]) -> tuple[AnalyzedQuery, CompiledPattern]:
         """Parse, analyze, and OPS-compile a query without running it."""
@@ -84,8 +122,12 @@ class Executor:
         query: Union[str, ast.Query],
         instrumentation: Optional[Instrumentation] = None,
     ) -> tuple[Result, ExecutionReport]:
-        analyzed, compiled = self.prepare(query)
+        diagnostics = Diagnostics()
+        analyzed, compiled, matcher_name, matcher = self._plan(query, diagnostics)
         instrumentation = instrumentation or Instrumentation()
+        budget = (
+            Budget(self._limits, diagnostics) if self._limits.bounded else None
+        )
         table = self._catalog.table(analyzed.table)
         columns = [
             item.output_name(position)
@@ -96,27 +138,105 @@ class Executor:
         searched = 0
         scanned = 0
         match_count = 0
-        for _, rows in clusters_of(table, analyzed.cluster_by, analyzed.sequence_by):
+        for _, rows in clusters_of(
+            table,
+            analyzed.cluster_by,
+            analyzed.sequence_by,
+            policy=self._policy,
+            diagnostics=diagnostics,
+        ):
             clusters += 1
+            if budget is not None and budget.check_deadline():
+                break
             if not _cluster_passes(analyzed, rows):
                 continue
+            if budget is not None and budget.add_rows(len(rows)):
+                break
             searched += 1
             scanned += len(rows)
-            aggregate = PatternSearchAggregate(compiled, self._matcher, instrumentation)
-            matches = apply_aggregate(aggregate, rows)
+            matches, matcher_name, matcher = self._search_cluster(
+                rows, compiled, matcher_name, matcher, instrumentation,
+                budget, diagnostics,
+            )
             for match in matches:
                 match_count += 1
                 output_rows.append(_project(analyzed, rows, match))
+            if budget is not None and budget.tripped is not None:
+                break
         report = ExecutionReport(
-            matcher=self._matcher_name,
+            matcher=matcher_name,
             clusters=clusters,
             clusters_searched=searched,
             rows_scanned=scanned,
             predicate_tests=instrumentation.tests,
             matches=match_count,
             pattern=compiled,
+            diagnostics=diagnostics,
         )
-        return Result(columns, output_rows), report
+        return Result(columns, output_rows, diagnostics), report
+
+    # ------------------------------------------------------------------
+
+    def _plan(
+        self, query: Union[str, ast.Query], diagnostics: Diagnostics
+    ) -> tuple[AnalyzedQuery, CompiledPattern, str, Matcher]:
+        """Parse/analyze/compile, degrading to the fallback plan if allowed.
+
+        Syntax and semantic errors always raise — there is nothing to
+        degrade to without a valid query.  Planning (OPS compilation)
+        errors degrade under a lenient policy: the pattern gets a
+        placeholder plan and the restart-based fallback matcher, which
+        produces identical matches without shift/next.
+        """
+        parsed = parse_query(query) if isinstance(query, str) else query
+        analyzed = analyze(parsed, self._domains)
+        try:
+            compiled = compile_pattern(analyzed.spec)
+        except PlanningError as error:
+            if not self._policy.lenient or self._fallback is None:
+                raise
+            compiled = degraded_pattern(analyzed.spec)
+            name = self._fallback
+            diagnostics.record_downgrade(
+                f"OPS compilation failed ({error}); executing with the "
+                f"{name!r} matcher on a degraded plan"
+            )
+            return analyzed, compiled, name, MATCHERS[name]()
+        return analyzed, compiled, self._matcher_name, self._matcher
+
+    def _search_cluster(
+        self,
+        rows: list[dict[str, object]],
+        compiled: CompiledPattern,
+        matcher_name: str,
+        matcher: Matcher,
+        instrumentation: Instrumentation,
+        budget: Optional[Budget],
+        diagnostics: Diagnostics,
+    ) -> tuple[list[Match], str, Matcher]:
+        """Run one cluster, downgrading the matcher on PlanningError.
+
+        Returns the (possibly replaced) matcher so subsequent clusters
+        skip the failing attempt instead of re-raising per cluster.
+        """
+        aggregate = PatternSearchAggregate(
+            compiled, matcher, instrumentation, budget
+        )
+        try:
+            return apply_aggregate(aggregate, rows), matcher_name, matcher
+        except PlanningError as error:
+            if not self._policy.lenient or self._fallback is None:
+                raise
+            name = self._fallback
+            fallback = MATCHERS[name]()
+            diagnostics.record_downgrade(
+                f"matcher {matcher_name!r} cannot execute this pattern "
+                f"({error}); falling back to {name!r}"
+            )
+            aggregate = PatternSearchAggregate(
+                compiled, fallback, instrumentation, budget
+            )
+            return apply_aggregate(aggregate, rows), name, fallback
 
 
 def _resolve_matcher(matcher: Union[str, Matcher]) -> tuple[str, Matcher]:
@@ -164,8 +284,10 @@ def execute(
     domains: Optional[AttributeDomains] = None,
     matcher: Union[str, Matcher] = "ops",
     instrumentation: Optional[Instrumentation] = None,
+    policy: Union[ErrorPolicy, str] = ErrorPolicy.RAISE,
+    limits: Optional[ResourceLimits] = None,
 ) -> Result:
     """One-shot convenience wrapper around :class:`Executor`."""
-    return Executor(catalog, domains=domains, matcher=matcher).execute(
-        query, instrumentation
-    )
+    return Executor(
+        catalog, domains=domains, matcher=matcher, policy=policy, limits=limits
+    ).execute(query, instrumentation)

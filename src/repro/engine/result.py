@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator, Optional, Sequence
+
+from repro.resilience import Diagnostics
 
 
 class Result:
@@ -11,13 +13,24 @@ class Result:
     Rows are tuples aligned with ``columns``; ``to_dicts()`` gives the
     dict view, ``pretty()`` an aligned text table for examples and
     benchmark reports.
+
+    ``diagnostics`` records anything the producing execution skipped,
+    downgraded, or cut short (see :mod:`repro.resilience`); it is
+    informational and excluded from equality/hashing, so result
+    comparisons keep their relational meaning.
     """
 
-    __slots__ = ("columns", "rows")
+    __slots__ = ("columns", "rows", "diagnostics")
 
-    def __init__(self, columns: Sequence[str], rows: Sequence[tuple]):
+    def __init__(
+        self,
+        columns: Sequence[str],
+        rows: Sequence[tuple],
+        diagnostics: Optional[Diagnostics] = None,
+    ):
         self.columns = tuple(columns)
         self.rows = tuple(tuple(row) for row in rows)
+        self.diagnostics = diagnostics if diagnostics is not None else Diagnostics()
         for row in self.rows:
             if len(row) != len(self.columns):
                 raise ValueError(
@@ -86,7 +99,8 @@ class Result:
         return hash((self.columns, self.rows))
 
     def __repr__(self) -> str:
-        return f"Result({len(self.rows)} rows x {len(self.columns)} cols)"
+        note = "" if self.diagnostics.ok else ", diagnostics"
+        return f"Result({len(self.rows)} rows x {len(self.columns)} cols{note})"
 
 
 def _fmt(value: object) -> str:

@@ -8,6 +8,12 @@ catalog, loads data, and executes pattern queries::
     session.execute("CREATE TABLE quote (name Varchar(8), date Date, price Real)")
     session.execute("INSERT INTO quote VALUES ('IBM', '1999-01-25', 100.0)")
     result = session.execute("SELECT ... FROM quote ... AS (X, Y) WHERE ...")
+
+A session carries an :class:`~repro.resilience.ErrorPolicy` and optional
+:class:`~repro.resilience.ResourceLimits`: under ``SKIP``/``COLLECT``
+bad INSERT rows and malformed CSV rows are quarantined into
+``session.diagnostics`` instead of aborting, and scripts can continue
+past failing statements, collecting per-statement errors.
 """
 
 from __future__ import annotations
@@ -15,18 +21,28 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.engine.catalog import Catalog
+from repro.engine.csv_io import load_csv
 from repro.engine.executor import Executor
 from repro.engine.result import Result
-from repro.engine.table import Table
-from repro.errors import ExecutionError
+from repro.engine.table import Schema, Table
+from repro.errors import ExecutionError, ReproError, SchemaError, StatementError
 from repro.match.base import Instrumentation, Matcher
 from repro.pattern.predicates import AttributeDomains
+from repro.resilience import Diagnostics, ErrorPolicy, ResourceLimits
 from repro.sqlts.ddl import (
     coerce_value,
     parse_create_table,
     parse_insert,
     statement_kind,
 )
+
+#: Characters of a failing statement echoed into error context.
+_SNIPPET_CHARS = 80
+
+
+def _snippet(statement: str) -> str:
+    text = " ".join(statement.split())
+    return text[:_SNIPPET_CHARS]
 
 
 class Session:
@@ -37,9 +53,20 @@ class Session:
         catalog: Optional[Catalog] = None,
         domains: Optional[AttributeDomains] = None,
         matcher: Union[str, Matcher] = "ops",
+        policy: Union[ErrorPolicy, str] = ErrorPolicy.RAISE,
+        limits: Optional[ResourceLimits] = None,
     ):
         self.catalog = catalog if catalog is not None else Catalog()
-        self._executor = Executor(self.catalog, domains=domains, matcher=matcher)
+        self.policy = ErrorPolicy.coerce(policy)
+        self.limits = limits if limits is not None else ResourceLimits()
+        self.diagnostics = Diagnostics()
+        self._executor = Executor(
+            self.catalog,
+            domains=domains,
+            matcher=matcher,
+            policy=self.policy,
+            limits=self.limits,
+        )
 
     def execute(
         self,
@@ -54,16 +81,57 @@ class Session:
         if kind == "insert":
             self._insert(statement)
             return None
-        return self._executor.execute(statement, instrumentation)
+        result = self._executor.execute(statement, instrumentation)
+        self.diagnostics.merge(result.diagnostics)
+        return result
 
-    def run_script(self, script: str) -> list[Result]:
-        """Execute a ``;``-separated script; returns the query results."""
+    def run_script(
+        self,
+        script: str,
+        *,
+        continue_on_error: Optional[bool] = None,
+    ) -> list[Result]:
+        """Execute a ``;``-separated script; returns the query results.
+
+        A failing statement raises :class:`~repro.errors.StatementError`
+        carrying its 1-based index and leading text, with the original
+        error chained.  With ``continue_on_error=True`` (the default
+        under the ``COLLECT`` policy) failing statements are instead
+        recorded in ``session.diagnostics.errors`` and execution
+        proceeds with the next statement.
+        """
+        if continue_on_error is None:
+            continue_on_error = self.policy is ErrorPolicy.COLLECT
         results = []
-        for statement in split_statements(script):
-            result = self.execute(statement)
+        for index, statement in enumerate(split_statements(script), start=1):
+            try:
+                result = self.execute(statement)
+            except ReproError as error:
+                if not continue_on_error:
+                    raise StatementError(index, _snippet(statement), error) from error
+                self.diagnostics.record_error(index, _snippet(statement), error)
+                continue
             if result is not None:
                 results.append(result)
         return results
+
+    def load_csv(
+        self, path, name: str, schema: Union[Schema, object]
+    ) -> Table:
+        """Load a CSV file into a new table registered with the catalog.
+
+        The session's error policy applies: lenient policies quarantine
+        malformed rows into ``session.diagnostics``.
+        """
+        table = load_csv(
+            path,
+            name,
+            schema if isinstance(schema, Schema) else Schema(schema),
+            policy=self.policy,
+            diagnostics=self.diagnostics,
+        )
+        self.catalog.register(table)
+        return table
 
     # ------------------------------------------------------------------
 
@@ -76,17 +144,45 @@ class Session:
         table = self.catalog.table(parsed.table)
         schema = table.schema
         columns = parsed.columns if parsed.columns is not None else schema.names
-        for row_values in parsed.rows:
-            if len(row_values) != len(columns):
-                raise ExecutionError(
-                    f"INSERT row has {len(row_values)} values for "
-                    f"{len(columns)} columns"
+        for row_number, row_values in enumerate(parsed.rows, start=1):
+            try:
+                table.insert(
+                    self._coerce_row(schema, columns, row_values)
                 )
-            row = {
-                column: coerce_value(value, schema.column(column).type)
-                for column, value in zip(columns, row_values)
-            }
-            table.insert(row)
+            except (ExecutionError, SchemaError) as error:
+                if not self.policy.lenient:
+                    raise
+                self.diagnostics.quarantine(
+                    f"INSERT INTO {parsed.table}",
+                    row_number,
+                    str(error),
+                    tuple(row_values),
+                )
+                if self.policy is ErrorPolicy.COLLECT:
+                    self.diagnostics.record_error(
+                        row_number, f"INSERT INTO {parsed.table}", error
+                    )
+
+    @staticmethod
+    def _coerce_row(
+        schema: Schema, columns, row_values
+    ) -> dict[str, object]:
+        if len(row_values) != len(columns):
+            raise ExecutionError(
+                f"INSERT row has {len(row_values)} values for "
+                f"{len(columns)} columns"
+            )
+        row: dict[str, object] = {}
+        for column, value in zip(columns, row_values):
+            type_name = schema.column(column).type
+            try:
+                row[column] = coerce_value(value, type_name)
+            except (ValueError, TypeError) as error:
+                raise ExecutionError(
+                    f"column {column!r}: cannot coerce {value!r} "
+                    f"to {type_name} ({error})"
+                ) from error
+        return row
 
 
 def split_statements(script: str) -> list[str]:

@@ -44,5 +44,35 @@ class SchemaError(ReproError):
     """Raised for invalid table schemas or rows that violate a schema."""
 
 
+class LimitExceeded(ReproError):
+    """Raised when a :class:`~repro.resilience.ResourceLimits` bound is hit
+    in a context that cannot degrade to partial results (e.g. a streaming
+    buffer overflow with ``overflow="raise"``).
+
+    Matcher loops normally do *not* raise this — they stop and return the
+    partial matches, recording the limit in
+    :class:`~repro.resilience.Diagnostics` instead.
+    """
+
+    def __init__(self, message: str, reason: str | None = None):
+        super().__init__(message)
+        self.reason = reason if reason is not None else message
+
+
+class StatementError(ReproError):
+    """A script statement failed; carries which one and why.
+
+    ``index`` is the 1-based position of the statement in the script,
+    ``snippet`` the first characters of its text, and ``__cause__`` the
+    underlying error (chained with ``raise ... from``).
+    """
+
+    def __init__(self, index: int, snippet: str, cause: Exception):
+        super().__init__(f"statement #{index} ({snippet!r}): {cause}")
+        self.index = index
+        self.snippet = snippet
+        self.cause = cause
+
+
 class ConstraintError(ReproError):
     """Raised for malformed constraint atoms or unsupported operators."""

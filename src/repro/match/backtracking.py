@@ -32,6 +32,7 @@ from typing import Mapping, Optional, Sequence
 
 from repro.match.base import Instrumentation, Match, Span, test_element
 from repro.pattern.compiler import CompiledPattern
+from repro.resilience import Budget
 
 
 class BacktrackingMatcher:
@@ -42,18 +43,25 @@ class BacktrackingMatcher:
         rows: Sequence[Mapping[str, object]],
         pattern: CompiledPattern,
         instrumentation: Optional[Instrumentation] = None,
+        budget: Optional[Budget] = None,
     ) -> list[Match]:
         matches: list[Match] = []
         n = len(rows)
         start = 0
         while start < n:
-            spans = self._search(rows, pattern, 1, start, {}, instrumentation)
+            if budget is not None and budget.step():
+                break
+            spans = self._search(
+                rows, pattern, 1, start, {}, instrumentation, budget
+            )
             if spans is None:
                 start += 1
             else:
                 match = Match(start, spans[-1].end, tuple(spans), pattern.spec.names)
                 matches.append(match)
                 start = match.end + 1
+                if budget is not None and budget.add_match():
+                    break
         return matches
 
     def _search(
@@ -64,8 +72,13 @@ class BacktrackingMatcher:
         i: int,
         bindings: dict[str, tuple[int, int]],
         instrumentation: Optional[Instrumentation],
+        budget: Optional[Budget] = None,
     ) -> Optional[list[Span]]:
         """Match elements j..m starting at input i; None on failure."""
+        if budget is not None and budget.step():
+            # Abandoning the search mid-attempt is safe: the caller
+            # returns whatever complete matches were already recorded.
+            return None
         if j > pattern.m:
             return []
         element = pattern.spec.elements[j - 1]
@@ -77,7 +90,9 @@ class BacktrackingMatcher:
         if not element.star:
             extended = dict(bindings)
             extended[element.name] = (i, i)
-            rest = self._search(rows, pattern, j + 1, i + 1, extended, instrumentation)
+            rest = self._search(
+                rows, pattern, j + 1, i + 1, extended, instrumentation, budget
+            )
             return None if rest is None else [Span(i, i), *rest]
         # Starred: discover the maximal satisfying run, then try every
         # boundary from longest to shortest, re-searching downstream.
@@ -90,8 +105,10 @@ class BacktrackingMatcher:
             extended = dict(bindings)
             extended[element.name] = (i, last)
             rest = self._search(
-                rows, pattern, j + 1, last + 1, extended, instrumentation
+                rows, pattern, j + 1, last + 1, extended, instrumentation, budget
             )
             if rest is not None:
                 return [Span(i, last), *rest]
+            if budget is not None and budget.tripped is not None:
+                return None
         return None

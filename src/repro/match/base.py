@@ -14,6 +14,7 @@ from typing import Mapping, Optional, Protocol, Sequence
 
 from repro.pattern.compiler import CompiledPattern
 from repro.pattern.predicates import ElementPredicate, EvalContext
+from repro.resilience import Budget
 
 
 @dataclass(frozen=True)
@@ -77,13 +78,21 @@ class Instrumentation:
 
 
 class Matcher(Protocol):
-    """The common matcher interface."""
+    """The common matcher interface.
+
+    ``budget`` is optional resource-limit tracking
+    (:class:`~repro.resilience.Budget`): implementations consult it
+    periodically inside their scan loops and, once it trips, stop and
+    return the matches found so far (partial results — the trip reason is
+    recorded on the budget's diagnostics, never raised from here).
+    """
 
     def find_matches(
         self,
         rows: Sequence[Mapping[str, object]],
         pattern: CompiledPattern,
         instrumentation: Optional[Instrumentation] = None,
+        budget: Optional[Budget] = None,
     ) -> list[Match]:
         """All left-maximal, non-overlapping matches, in input order."""
         ...

@@ -20,6 +20,7 @@ from typing import Mapping, Optional, Sequence
 
 from repro.match.base import Instrumentation, Match, Span, test_element
 from repro.pattern.compiler import CompiledPattern
+from repro.resilience import Budget
 
 
 class NaiveMatcher:
@@ -38,17 +39,22 @@ class NaiveMatcher:
         rows: Sequence[Mapping[str, object]],
         pattern: CompiledPattern,
         instrumentation: Optional[Instrumentation] = None,
+        budget: Optional[Budget] = None,
     ) -> list[Match]:
         matches: list[Match] = []
         n = len(rows)
         start = 0
         while start < n:
-            match = self._attempt(rows, pattern, start, instrumentation)
+            if budget is not None and budget.step():
+                break
+            match = self._attempt(rows, pattern, start, instrumentation, budget)
             if match is None:
                 start += 1
             else:
                 matches.append(match)
                 start = start + 1 if self._overlapping else match.end + 1
+                if budget is not None and budget.add_match():
+                    break
         return matches
 
     def _attempt(
@@ -57,6 +63,7 @@ class NaiveMatcher:
         pattern: CompiledPattern,
         start: int,
         instrumentation: Optional[Instrumentation],
+        budget: Optional[Budget] = None,
     ) -> Optional[Match]:
         n = len(rows)
         i = start
@@ -77,6 +84,8 @@ class NaiveMatcher:
                     element.predicate, rows, i, bindings, j, instrumentation
                 ):
                     i += 1
+                    if budget is not None and budget.step():
+                        return None
             span = Span(first, i - 1)
             spans.append(span)
             bindings[element.name] = (span.start, span.end)

@@ -28,6 +28,7 @@ from typing import Mapping, Optional, Sequence
 from repro.errors import PlanningError
 from repro.match.base import Instrumentation, Match, Span, test_element
 from repro.pattern.compiler import CompiledPattern
+from repro.resilience import Budget
 
 
 class OpsMatcher:
@@ -38,6 +39,7 @@ class OpsMatcher:
         rows: Sequence[Mapping[str, object]],
         pattern: CompiledPattern,
         instrumentation: Optional[Instrumentation] = None,
+        budget: Optional[Budget] = None,
     ) -> list[Match]:
         if pattern.has_star:
             raise PlanningError("OpsMatcher handles star-free patterns only")
@@ -54,6 +56,8 @@ class OpsMatcher:
         i = 1
         j = 1
         while j <= m and i <= n:
+            if budget is not None and budget.step():
+                break
             while j > 0 and not test_element(
                 predicates[j - 1], rows, i - 1, _bindings(names, i, j), j, instrumentation
             ):
@@ -61,6 +65,8 @@ class OpsMatcher:
                 j = next_[j]
                 if i > n:
                     break
+                if budget is not None and budget.step():
+                    return matches
             if i > n:
                 break
             i += 1
@@ -70,6 +76,8 @@ class OpsMatcher:
                 spans = tuple(Span(start + offset, start + offset) for offset in range(m))
                 matches.append(Match(start, i - 2, spans, names))
                 j = 1  # resume scanning right after the match (non-overlapping)
+                if budget is not None and budget.add_match():
+                    break
         return matches
 
 

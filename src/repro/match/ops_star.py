@@ -43,6 +43,7 @@ from typing import Mapping, Optional, Sequence
 
 from repro.match.base import Instrumentation, Match, Span, test_element
 from repro.pattern.compiler import CompiledPattern
+from repro.resilience import Budget
 
 
 class OpsStarMatcher:
@@ -53,8 +54,9 @@ class OpsStarMatcher:
         rows: Sequence[Mapping[str, object]],
         pattern: CompiledPattern,
         instrumentation: Optional[Instrumentation] = None,
+        budget: Optional[Budget] = None,
     ) -> list[Match]:
-        runtime = _Run(rows, pattern, instrumentation)
+        runtime = _Run(rows, pattern, instrumentation, budget)
         return runtime.scan()
 
 
@@ -66,10 +68,12 @@ class _Run:
         rows: Sequence[Mapping[str, object]],
         pattern: CompiledPattern,
         instrumentation: Optional[Instrumentation],
+        budget: Optional[Budget] = None,
     ):
         self.rows = rows
         self.pattern = pattern
         self.instrumentation = instrumentation
+        self.budget = budget
         self.elements = pattern.spec.elements
         self.names = pattern.spec.names
         self.shift = pattern.shift_next.shift
@@ -103,6 +107,8 @@ class _Run:
         at which point off-end navigation legitimately evaluates False.
         """
         while True:
+            if self.budget is not None and self.budget.step():
+                return
             if self.j > self.m:
                 self._record_match()
                 continue
@@ -158,6 +164,8 @@ class _Run:
             Match(self.attempt_start, end, tuple(self.spans), self.names)
         )
         self._reset_attempt(end + 1)
+        if self.budget is not None:
+            self.budget.add_match()
 
     def _mismatch(self) -> None:
         """Apply the compiled shift/next after a genuine failure at j."""

@@ -20,16 +20,26 @@ Matches carry absolute input positions, identical to the batch
 
 Trimming requires navigation offsets to be statically bounded; patterns
 with residual (opaque) conditions keep the full history instead, since a
-residual may navigate arbitrarily through its bindings.
+residual may navigate arbitrarily through its bindings.  For those
+opaque patterns the buffer would grow without bound on a long stream, so
+:class:`OpsStreamMatcher` accepts
+:class:`~repro.resilience.ResourceLimits` with a hard
+``max_stream_buffer`` cap and an explicit overflow behavior: ``"raise"``
+(default — a :class:`~repro.errors.LimitExceeded` escapes to the caller)
+or ``"restart"`` (abandon the in-flight attempt, drop the oldest rows,
+and keep matching; matches spanning the dropped region are lost, which
+is recorded in :class:`~repro.resilience.Diagnostics`).
 """
 
 from __future__ import annotations
 
 from typing import Iterator, Mapping, Optional
 
+from repro.errors import LimitExceeded
 from repro.match.base import Instrumentation, Match
 from repro.match.ops_star import _Run
 from repro.pattern.compiler import CompiledPattern
+from repro.resilience import Budget, Diagnostics, ResourceLimits
 from repro.pattern.predicates import (
     ComparisonCondition,
     Condition,
@@ -124,10 +134,26 @@ class OpsStreamMatcher:
         pattern: CompiledPattern,
         instrumentation: Optional[Instrumentation] = None,
         trim: bool = True,
+        limits: Optional[ResourceLimits] = None,
+        diagnostics: Optional[Diagnostics] = None,
+        overflow: str = "raise",
     ):
+        if overflow not in ("raise", "restart"):
+            raise ValueError(
+                f"overflow must be 'raise' or 'restart', got {overflow!r}"
+            )
         self._pattern = pattern
         self._window = _Window()
-        self._run = _Run(self._window, pattern, instrumentation)
+        self.diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+        self._limits = limits if limits is not None else ResourceLimits()
+        self._budget = (
+            Budget(self._limits, self.diagnostics)
+            if self._limits.bounded
+            else None
+        )
+        self._overflow = overflow
+        self._overflowed = False
+        self._run = _Run(self._window, pattern, instrumentation, self._budget)
         low, high, opaque = pattern_offsets(pattern.spec)
         self._lookback = -low
         self._lookahead = high
@@ -136,14 +162,53 @@ class OpsStreamMatcher:
         self._finished = False
 
     def push(self, row: Mapping[str, object]) -> list[Match]:
-        """Feed one tuple; return matches completed by it."""
+        """Feed one tuple; return matches completed by it.
+
+        Once a budget limit trips (deadline, match cap) the matcher goes
+        quiescent: rows are still accepted but no further matching work
+        is done, so the producing loop can drain cheaply.  Check
+        :attr:`tripped` to stop early.
+        """
         if self._finished:
             raise RuntimeError("push() after finish()")
+        if self._budget is not None and self._budget.tripped is not None:
+            return []
         self._window.append(row)
         self._run.process(finished=False, lookahead=self._lookahead)
         if self._trim:
             self._window.trim_before(self._run.attempt_start - self._lookback)
+        cap = self._limits.max_stream_buffer
+        if cap is not None and self._window.buffered > cap:
+            self._handle_overflow(cap)
         return self._drain()
+
+    def _handle_overflow(self, cap: int) -> None:
+        """The look-back window outgrew ``max_stream_buffer``.
+
+        ``"raise"``: record the limit and raise :class:`LimitExceeded` —
+        the caller decides whether to abandon or restart the stream.
+        ``"restart"``: abandon the current attempt, forget everything
+        before the newest ``cap`` rows, and restart matching at the
+        oldest retained row; any match that would have spanned the
+        dropped region is lost (recorded once in diagnostics).
+        """
+        reason = (
+            f"max_stream_buffer ({cap}) exceeded: "
+            f"{self._window.buffered} rows buffered"
+        )
+        if self._overflow == "raise":
+            self.diagnostics.record_limit(reason)
+            raise LimitExceeded(reason, reason="max_stream_buffer")
+        keep_from = len(self._window) - cap
+        self._run._reset_attempt(keep_from)
+        self._window.trim_before(keep_from)
+        if not self._overflowed:
+            self._overflowed = True
+            self.diagnostics.record_limit(reason)
+            self.diagnostics.warn(
+                "stream buffer overflowed; the in-flight attempt was "
+                "abandoned and matches spanning the dropped rows are lost"
+            )
 
     def finish(self) -> list[Match]:
         """Signal end of stream; return any trailing matches."""
@@ -166,3 +231,8 @@ class OpsStreamMatcher:
     def buffered_rows(self) -> int:
         """Current look-back window size (for tests and monitoring)."""
         return self._window.buffered
+
+    @property
+    def tripped(self) -> Optional[str]:
+        """The budget trip reason, or None while within limits."""
+        return self._budget.tripped if self._budget is not None else None

@@ -36,6 +36,10 @@ class CompiledPattern:
     shift_next: ShiftNext
     s_matrix: Optional[TriangularMatrix]
     graph: Optional[ImplicationGraph]
+    #: True for plans built by :func:`degraded_pattern` after an OPS
+    #: compilation failure: shift/next are placeholders, only safe for
+    #: restart-based matchers (naive / backtracking).
+    degraded: bool = False
 
     @property
     def m(self) -> int:
@@ -102,6 +106,31 @@ def compile_pattern(spec: PatternSpec, use_equivalence: bool = True) -> Compiled
         shift_next=shift_next,
         s_matrix=s_matrix,
         graph=None,
+    )
+
+
+def degraded_pattern(spec: PatternSpec) -> CompiledPattern:
+    """A fallback plan for patterns OPS analysis cannot compile.
+
+    theta/phi are left all-UNKNOWN and shift/next are the no-skip
+    placeholders (``shift = j``, ``next = 0``), which restart-based
+    matchers (:class:`~repro.match.naive.NaiveMatcher`,
+    :class:`~repro.match.backtracking.BacktrackingMatcher`) never read.
+    The plan is tagged ``degraded=True`` so the executor refuses to hand
+    it to an OPS runtime, whose skip arithmetic would be unsound with
+    placeholder arrays.
+    """
+    m = len(spec)
+    return CompiledPattern(
+        spec=spec,
+        theta=TriangularMatrix(m),
+        phi=TriangularMatrix(m),
+        shift_next=ShiftNext(
+            shift=(0, *range(1, m + 1)), next_=(0,) * (m + 1)
+        ),
+        s_matrix=None,
+        graph=None,
+        degraded=True,
     )
 
 

@@ -1,0 +1,345 @@
+"""Error policies, resource limits, and execution diagnostics.
+
+A production sequence engine cannot afford the seed's fail-fast posture:
+one malformed CSV row or one adversarial pattern would abort a query that
+is otherwise streaming millions of useful tuples.  This module is the
+shared vocabulary of the resilience layer threaded through ingestion
+(:mod:`repro.engine.csv_io`, :class:`repro.engine.session.Session`),
+planning (:mod:`repro.engine.executor`), and matching
+(:mod:`repro.match`):
+
+- :class:`ErrorPolicy` — what to do when a recoverable fault is found
+  (``RAISE`` keeps the seed's strict behavior and is the default
+  everywhere, so existing callers observe no change);
+- :class:`ResourceLimits` — declarative bounds on a query's footprint
+  (match count, rows scanned, wall-clock time, stream buffer size);
+- :class:`Budget` — the runtime enforcement of those limits, consulted
+  cheaply (an int decrement on the hot path) by every matcher loop;
+- :class:`Diagnostics` — the faithful record of everything that was
+  skipped, quarantined, downgraded, or cut short, attached to
+  :class:`~repro.engine.result.Result` and
+  :class:`~repro.engine.executor.ExecutionReport`.
+
+See ``docs/resilience.md`` for the full contract.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+
+class ErrorPolicy(enum.Enum):
+    """How recoverable faults (dirty rows, unplannable patterns) are handled.
+
+    - ``RAISE``: fail fast with the strict seed behavior (default);
+    - ``SKIP``: drop the offending unit (row, statement), record it in
+      :class:`Diagnostics`, and keep going;
+    - ``COLLECT``: like ``SKIP``, but additionally retain the full error
+      objects for post-mortem inspection.
+    """
+
+    RAISE = "raise"
+    SKIP = "skip"
+    COLLECT = "collect"
+
+    @classmethod
+    def coerce(cls, value: Union["ErrorPolicy", str]) -> "ErrorPolicy":
+        """Accept an enum member or its string value (CLI-friendly)."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value.lower())
+        except (ValueError, AttributeError):
+            choices = sorted(p.value for p in cls)
+            raise ValueError(
+                f"unknown error policy {value!r} (choose from {choices})"
+            ) from None
+
+    @property
+    def lenient(self) -> bool:
+        """True for the policies that recover instead of raising."""
+        return self is not ErrorPolicy.RAISE
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """Declarative bounds on one query execution.  ``None`` = unlimited.
+
+    - ``max_matches``: stop after this many matches (they are kept);
+    - ``max_rows_scanned``: stop admitting clusters once this many input
+      rows have been handed to the matcher;
+    - ``wall_clock_deadline``: seconds from execution start after which
+      matcher loops stop and return partial results;
+    - ``max_stream_buffer``: hard cap on the
+      :class:`~repro.match.streaming.OpsStreamMatcher` look-back window.
+    """
+
+    max_matches: Optional[int] = None
+    max_rows_scanned: Optional[int] = None
+    wall_clock_deadline: Optional[float] = None
+    max_stream_buffer: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_matches", "max_rows_scanned", "max_stream_buffer"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+        if self.wall_clock_deadline is not None and self.wall_clock_deadline < 0:
+            raise ValueError(
+                f"wall_clock_deadline must be non-negative, "
+                f"got {self.wall_clock_deadline}"
+            )
+
+    @property
+    def bounded(self) -> bool:
+        """True when at least one limit is set."""
+        return any(
+            getattr(self, name) is not None
+            for name in (
+                "max_matches",
+                "max_rows_scanned",
+                "wall_clock_deadline",
+                "max_stream_buffer",
+            )
+        )
+
+    @classmethod
+    def unlimited(cls) -> "ResourceLimits":
+        return cls()
+
+
+@dataclass(frozen=True)
+class QuarantinedRow:
+    """One input row set aside instead of aborting the load.
+
+    ``source`` is the CSV path or the statement kind (e.g. ``INSERT``);
+    ``line`` is 1-based — the physical file line for CSVs, the row index
+    within the statement for INSERTs.
+    """
+
+    source: str
+    line: int
+    reason: str
+    values: tuple = ()
+
+    def __str__(self) -> str:
+        return f"{self.source}:{self.line}: {self.reason}"
+
+
+@dataclass(frozen=True)
+class StatementFailure:
+    """A failed script statement retained under ``COLLECT``/``continue_on_error``."""
+
+    index: int
+    snippet: str
+    error: Exception
+
+    def __str__(self) -> str:
+        return f"statement #{self.index} ({self.snippet!r}): {self.error}"
+
+
+class Diagnostics:
+    """Everything an execution skipped, quarantined, downgraded, or cut short.
+
+    A clean run leaves every list empty (``ok`` is True); callers that
+    never look at diagnostics observe today's behavior untouched.
+    """
+
+    __slots__ = ("warnings", "quarantined", "limits_hit", "errors", "downgrades")
+
+    def __init__(self) -> None:
+        self.warnings: list[str] = []
+        self.quarantined: list[QuarantinedRow] = []
+        self.limits_hit: list[str] = []
+        self.errors: list[StatementFailure] = []
+        self.downgrades: list[str] = []
+
+    # -- recording ------------------------------------------------------
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+    def quarantine(
+        self, source: str, line: int, reason: str, values: tuple = ()
+    ) -> None:
+        self.quarantined.append(QuarantinedRow(source, line, reason, values))
+
+    def record_limit(self, reason: str) -> None:
+        self.limits_hit.append(reason)
+
+    def record_downgrade(self, message: str) -> None:
+        self.downgrades.append(message)
+
+    def record_error(self, index: int, snippet: str, error: Exception) -> None:
+        self.errors.append(StatementFailure(index, snippet, error))
+
+    def merge(self, other: "Diagnostics") -> None:
+        """Fold another diagnostics record into this one."""
+        self.warnings.extend(other.warnings)
+        self.quarantined.extend(other.quarantined)
+        self.limits_hit.extend(other.limits_hit)
+        self.errors.extend(other.errors)
+        self.downgrades.extend(other.downgrades)
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.warnings
+            or self.quarantined
+            or self.limits_hit
+            or self.errors
+            or self.downgrades
+        )
+
+    @property
+    def limit_hit(self) -> bool:
+        return bool(self.limits_hit)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.downgrades)
+
+    def summary(self) -> str:
+        """A human-readable multi-line report (CLI stderr output)."""
+        lines: list[str] = []
+        if self.quarantined:
+            lines.append(f"quarantined {len(self.quarantined)} row(s):")
+            lines.extend(f"  {row}" for row in self.quarantined[:20])
+            hidden = len(self.quarantined) - 20
+            if hidden > 0:
+                lines.append(f"  ... ({hidden} more)")
+        for warning in self.warnings:
+            lines.append(f"warning: {warning}")
+        for downgrade in self.downgrades:
+            lines.append(f"downgrade: {downgrade}")
+        for reason in self.limits_hit:
+            lines.append(f"limit exceeded: {reason}")
+        if self.errors:
+            lines.append(f"collected {len(self.errors)} statement error(s):")
+            lines.extend(f"  {failure}" for failure in self.errors)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Diagnostics(warnings={len(self.warnings)}, "
+            f"quarantined={len(self.quarantined)}, "
+            f"limits_hit={len(self.limits_hit)}, "
+            f"errors={len(self.errors)}, downgrades={len(self.downgrades)})"
+        )
+
+
+class Budget:
+    """Runtime limit tracking, cheap enough for the innermost matcher loops.
+
+    ``step()`` is the hot-path call: one int decrement most of the time,
+    with the wall clock consulted every ``check_every`` steps.  The
+    coarser events (``add_rows`` per cluster, ``add_match`` per match)
+    check their limits exactly.  Once any limit trips, the budget stays
+    tripped: every subsequent check returns True immediately, so nested
+    loops unwind without extra bookkeeping, each matcher returning the
+    matches it has accumulated so far.
+    """
+
+    __slots__ = (
+        "limits",
+        "diagnostics",
+        "rows_scanned",
+        "matches",
+        "tripped",
+        "_clock",
+        "_deadline",
+        "_stride",
+        "_countdown",
+    )
+
+    def __init__(
+        self,
+        limits: ResourceLimits,
+        diagnostics: Optional[Diagnostics] = None,
+        clock: Callable[[], float] = time.monotonic,
+        check_every: int = 256,
+    ):
+        if check_every < 1:
+            raise ValueError(f"check_every must be positive, got {check_every}")
+        self.limits = limits
+        self.diagnostics = diagnostics
+        self.rows_scanned = 0
+        self.matches = 0
+        self.tripped: Optional[str] = None
+        self._clock = clock
+        self._stride = check_every
+        self._countdown = check_every
+        self._deadline = (
+            clock() + limits.wall_clock_deadline
+            if limits.wall_clock_deadline is not None
+            else None
+        )
+        # add_match() keeps the match that reaches the cap, so a cap of
+        # zero must refuse work up front rather than after one match.
+        if limits.max_matches == 0:
+            self.trip("max_matches (0) reached")
+
+    def trip(self, reason: str) -> bool:
+        """Mark the budget exceeded (idempotent); always returns True."""
+        if self.tripped is None:
+            self.tripped = reason
+            if self.diagnostics is not None:
+                self.diagnostics.record_limit(reason)
+        return True
+
+    def step(self, steps: int = 1) -> bool:
+        """One unit of matcher work; True when the loop must stop."""
+        if self.tripped is not None:
+            return True
+        self._countdown -= steps
+        if self._countdown > 0:
+            return False
+        self._countdown = self._stride
+        return self.check_deadline()
+
+    def check_deadline(self) -> bool:
+        """Consult the wall clock now; True when execution must stop."""
+        if self.tripped is not None:
+            return True
+        if self._deadline is not None and self._clock() > self._deadline:
+            return self.trip(
+                f"wall_clock_deadline "
+                f"({self.limits.wall_clock_deadline}s) exceeded"
+            )
+        return False
+
+    def add_rows(self, count: int) -> bool:
+        """Account for rows handed to the matcher; True when over limit."""
+        if self.tripped is not None:
+            return True
+        self.rows_scanned += count
+        maximum = self.limits.max_rows_scanned
+        if maximum is not None and self.rows_scanned > maximum:
+            return self.trip(f"max_rows_scanned ({maximum}) exceeded")
+        return False
+
+    def add_match(self) -> bool:
+        """Account for one recorded match; True when the cap is reached.
+
+        The match that reaches the cap is *kept* — ``max_matches=N``
+        yields exactly N matches, then stops.
+        """
+        if self.tripped is not None:
+            return True
+        self.matches += 1
+        maximum = self.limits.max_matches
+        if maximum is not None and self.matches >= maximum:
+            return self.trip(f"max_matches ({maximum}) reached")
+        return False
+
+    def __repr__(self) -> str:
+        state = f"tripped={self.tripped!r}" if self.tripped else "ok"
+        return (
+            f"Budget({state}, rows_scanned={self.rows_scanned}, "
+            f"matches={self.matches})"
+        )

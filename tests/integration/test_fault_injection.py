@@ -1,0 +1,272 @@
+"""Fault injection: corrupted inputs and runaway queries, end to end.
+
+Feeds deliberately broken CSV files and scripts through the full
+``Session`` path under each :class:`~repro.resilience.ErrorPolicy`, and
+checks the acceptance bound for resource limits: a million-row query
+with a 0.5 s deadline must come back within 2x the deadline carrying
+partial matches and a limit diagnostic.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import pytest
+
+from repro.data.random_walk import geometric_walk
+from repro.engine.csv_io import load_csv
+from repro.engine.session import Session
+from repro.engine.table import Schema
+from repro.errors import SchemaError, StatementError
+from repro.match.ops_star import OpsStarMatcher
+from repro.match.streaming import OpsStreamMatcher
+from repro.pattern.compiler import compile_pattern
+from repro.pattern.dsl import falls, rises
+from repro.pattern.spec import PatternElement, PatternSpec
+from repro.resilience import Budget, Diagnostics, ErrorPolicy, ResourceLimits
+from tests.conftest import price_predicate
+
+QUOTE_SCHEMA = Schema([("name", "str"), ("date", "date"), ("price", "float")])
+
+#: Header + 8 data rows; physical lines 4, 6, 7, 8 are corrupt.
+DIRTY_CSV = """\
+name,date,price
+IBM,1999-01-01,100.0
+IBM,1999-01-02,101.5
+IBM,1999-13-99,102.0
+IBM,1999-01-04,103.0
+IBM,1999-01-05,nan
+IBM,1999-01-06
+IBM,1999-01-07,104.0,EXTRA
+IBM,1999-01-08,99.0
+"""
+
+#: Rows that survive a lenient load of DIRTY_CSV.
+CLEAN_PRICES = [100.0, 101.5, 103.0, 99.0]
+
+
+def write_csv(tmp_path, text, name="dirty.csv"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestDirtyCsvRaise:
+    def test_aborts_with_context(self, tmp_path):
+        path = write_csv(tmp_path, DIRTY_CSV)
+        with pytest.raises(SchemaError) as excinfo:
+            load_csv(path, "quote", QUOTE_SCHEMA)
+        message = str(excinfo.value)
+        assert f"{path}:4" in message  # first bad physical line
+        assert "column 'date'" in message
+        assert "'1999-13-99'" in message
+
+    def test_truncated_row_context(self, tmp_path):
+        path = write_csv(
+            tmp_path, "name,date,price\nIBM,1999-01-01,100.0\nIBM,1999-01-02\n"
+        )
+        with pytest.raises(SchemaError, match="truncated row.*'price'"):
+            load_csv(path, "quote", QUOTE_SCHEMA)
+
+    def test_extra_cells_context(self, tmp_path):
+        path = write_csv(
+            tmp_path, "name,date,price\nIBM,1999-01-01,100.0,oops\n"
+        )
+        with pytest.raises(SchemaError, match="extra column"):
+            load_csv(path, "quote", QUOTE_SCHEMA)
+
+    def test_nan_is_permitted_under_strict(self, tmp_path):
+        # The seed parsed 'nan' without complaint; RAISE must not change that.
+        path = write_csv(tmp_path, "name,date,price\nIBM,1999-01-01,nan\n")
+        table = load_csv(path, "quote", QUOTE_SCHEMA)
+        [row] = list(table)
+        assert math.isnan(row["price"])
+
+    def test_missing_header_column_always_raises(self, tmp_path):
+        path = write_csv(tmp_path, "name,date\nIBM,1999-01-01\n")
+        for policy in ErrorPolicy:
+            with pytest.raises(SchemaError, match="missing columns"):
+                load_csv(path, "quote", QUOTE_SCHEMA, policy=policy)
+
+
+class TestDirtyCsvLenient:
+    @pytest.mark.parametrize("policy", ["skip", "collect"])
+    def test_quarantines_and_continues(self, tmp_path, policy):
+        path = write_csv(tmp_path, DIRTY_CSV)
+        diagnostics = Diagnostics()
+        table = load_csv(
+            path, "quote", QUOTE_SCHEMA, policy=policy, diagnostics=diagnostics
+        )
+        assert [row["price"] for row in table] == CLEAN_PRICES
+        assert [row.line for row in diagnostics.quarantined] == [4, 6, 7, 8]
+        assert all(row.source == str(path) for row in diagnostics.quarantined)
+        reasons = " | ".join(row.reason for row in diagnostics.quarantined)
+        assert "cannot parse '1999-13-99'" in reasons
+        assert "non-finite value 'nan'" in reasons
+        assert "truncated row" in reasons
+        assert "extra column" in reasons
+
+    def test_collect_retains_error_objects(self, tmp_path):
+        path = write_csv(tmp_path, DIRTY_CSV)
+        diagnostics = Diagnostics()
+        load_csv(
+            path, "quote", QUOTE_SCHEMA, policy="collect", diagnostics=diagnostics
+        )
+        assert len(diagnostics.errors) == 4
+        assert all(
+            isinstance(failure.error, SchemaError)
+            for failure in diagnostics.errors
+        )
+
+    def test_skip_does_not_retain_error_objects(self, tmp_path):
+        path = write_csv(tmp_path, DIRTY_CSV)
+        diagnostics = Diagnostics()
+        load_csv(
+            path, "quote", QUOTE_SCHEMA, policy="skip", diagnostics=diagnostics
+        )
+        assert diagnostics.errors == []
+
+
+FALL_QUERY = (
+    "SELECT X.date FROM quote CLUSTER BY name SEQUENCE BY date "
+    "AS (X, Y) WHERE Y.price < X.price"
+)
+
+
+class TestSessionFullPath:
+    def test_dirty_load_then_query(self, tmp_path):
+        path = write_csv(tmp_path, DIRTY_CSV)
+        session = Session(policy="skip")
+        session.load_csv(path, "quote", QUOTE_SCHEMA)
+        result = session.execute(FALL_QUERY)
+        # CLEAN_PRICES fall once: 103.0 -> 99.0 (the surviving rows).
+        assert len(result) == 1
+        assert len(session.diagnostics.quarantined) == 4
+
+    def test_shuffled_sequence_keys_warn(self, tmp_path):
+        shuffled = (
+            "name,date,price\n"
+            "IBM,1999-01-03,99.0\n"
+            "IBM,1999-01-01,103.0\n"
+            "IBM,1999-01-02,101.0\n"
+        )
+        path = write_csv(tmp_path, shuffled, name="shuffled.csv")
+        session = Session(policy="collect")
+        session.load_csv(path, "quote", QUOTE_SCHEMA)
+        result = session.execute(FALL_QUERY)
+        # Re-sorted by date the walk is 103 -> 101 -> 99; non-overlapping
+        # matching pairs up the first fall.
+        assert len(result) == 1
+        assert any(
+            "out of order" in warning
+            for warning in session.diagnostics.warnings
+        )
+
+    def test_strict_session_load_raises(self, tmp_path):
+        path = write_csv(tmp_path, DIRTY_CSV)
+        session = Session()
+        with pytest.raises(SchemaError):
+            session.load_csv(path, "quote", QUOTE_SCHEMA)
+
+
+GOOD_SCRIPT = """
+CREATE TABLE t (name Varchar(8), day Int, price Real);
+INSERT INTO t VALUES ('A', 1, 10.0), ('A', 2, 9.0);
+SELECT X.day FROM t CLUSTER BY name SEQUENCE BY day
+  AS (X, Y) WHERE Y.price < X.price;
+"""
+
+BROKEN_SCRIPT = """
+CREATE TABLE t (name Varchar(8), day Int, price Real);
+INSERT INTO t VALUES ('A', 1, 10.0), ('A', 2, 9.0);
+SELECT nonsense syntax here;
+SELECT X.day FROM t CLUSTER BY name SEQUENCE BY day
+  AS (X, Y) WHERE Y.price < X.price;
+"""
+
+
+class TestScriptStatementErrors:
+    def test_statement_error_carries_index_and_snippet(self):
+        session = Session()
+        with pytest.raises(StatementError) as excinfo:
+            session.run_script(BROKEN_SCRIPT)
+        error = excinfo.value
+        assert error.index == 3
+        assert error.snippet.startswith("SELECT nonsense")
+        assert len(error.snippet) <= 80
+        assert "statement #3" in str(error)
+
+    def test_continue_on_error_collects_and_proceeds(self):
+        session = Session(policy="collect")
+        results = session.run_script(BROKEN_SCRIPT)
+        # The final SELECT still ran and found the one fall.
+        assert len(results) == 1
+        assert len(results[0]) == 1
+        [failure] = session.diagnostics.errors
+        assert failure.index == 3
+        assert failure.snippet.startswith("SELECT nonsense")
+
+    def test_explicit_continue_under_strict_policy(self):
+        session = Session()
+        results = session.run_script(BROKEN_SCRIPT, continue_on_error=True)
+        assert len(results) == 1
+        assert len(session.diagnostics.errors) == 1
+
+    def test_clean_script_unaffected(self):
+        session = Session()
+        results = session.run_script(GOOD_SCRIPT)
+        assert len(results) == 1
+        assert session.diagnostics.ok
+
+
+@pytest.fixture(scope="module")
+def million_rows():
+    return [{"price": p} for p in geometric_walk(1_000_000, seed=11)]
+
+
+@pytest.fixture(scope="module")
+def star_pattern():
+    return compile_pattern(
+        PatternSpec(
+            [
+                PatternElement("X", price_predicate(rises())),
+                PatternElement("Y", price_predicate(falls()), star=True),
+                PatternElement("Z", price_predicate(rises())),
+            ]
+        )
+    )
+
+
+DEADLINE = 0.5
+
+
+class TestDeadlineAcceptance:
+    """The ISSUE acceptance bound: 1M rows, 0.5 s deadline, back within 2x."""
+
+    def test_batch_matcher_respects_deadline(self, million_rows, star_pattern):
+        budget = Budget(ResourceLimits(wall_clock_deadline=DEADLINE))
+        started = time.monotonic()
+        matches = OpsStarMatcher().find_matches(
+            million_rows, star_pattern, budget=budget
+        )
+        elapsed = time.monotonic() - started
+        assert elapsed < 2 * DEADLINE
+        assert budget.tripped is not None
+        assert "wall_clock_deadline" in budget.tripped
+        assert matches  # partial results, not an empty bailout
+
+    def test_streaming_matcher_respects_deadline(self, million_rows, star_pattern):
+        matcher = OpsStreamMatcher(
+            star_pattern,
+            limits=ResourceLimits(wall_clock_deadline=DEADLINE),
+        )
+        started = time.monotonic()
+        for row in million_rows:
+            matcher.push(row)
+            if matcher.tripped is not None:
+                break
+        elapsed = time.monotonic() - started
+        assert elapsed < 2 * DEADLINE
+        assert matcher.tripped is not None
+        assert matcher.matches  # partial results survived the cutoff

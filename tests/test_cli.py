@@ -99,6 +99,118 @@ class TestQuery:
         assert "error:" in capsys.readouterr().err
 
 
+class TestResilienceFlags:
+    TABLE_FLAGS = ("--positive", "price")
+
+    @pytest.fixture
+    def dirty_csv(self, tmp_path):
+        path = tmp_path / "dirty.csv"
+        path.write_text(
+            "name,date,price\n"
+            "IBM,1999-01-25,100.0\n"
+            "IBM,bad-date,120.0\n"
+            "IBM,1999-01-26,120.0\n"
+            "IBM,1999-01-27,90.0\n"
+        )
+        return path
+
+    def table_arg(self, path):
+        return f"quote={path}:name:str,date:date,price:float"
+
+    def test_dirty_csv_raise_is_default(self, dirty_csv, capsys):
+        code, _ = run_cli(
+            "query", "--table", self.table_arg(dirty_csv), QUERY
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "bad-date" in err
+
+    def test_dirty_csv_skip_quarantines(self, dirty_csv, capsys):
+        code, output = run_cli(
+            "query",
+            "--table",
+            self.table_arg(dirty_csv),
+            "--on-error",
+            "skip",
+            *self.TABLE_FLAGS,
+            QUERY,
+        )
+        assert code == 0
+        assert "IBM" in output and "(1 rows)" in output
+        err = capsys.readouterr().err
+        assert "quarantined 1 row(s)" in err
+        assert ":3:" in err  # the bad physical line
+
+    def test_max_matches_limit_exit_code(self, quotes_csv, capsys):
+        code, output = run_cli(
+            "query",
+            "--table",
+            self.table_arg(quotes_csv),
+            "--max-matches",
+            "1",
+            *self.TABLE_FLAGS,
+            "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+            "AS (X, Y) WHERE Y.price > X.price",
+        )
+        assert code == 3
+        assert "(1 rows)" in output
+        assert "limit exceeded: max_matches" in capsys.readouterr().err
+
+    def test_timeout_flag_accepted(self, quotes_csv):
+        # A generous deadline on a tiny input must not perturb the result.
+        code, output = run_cli(
+            "query",
+            "--table",
+            self.table_arg(quotes_csv),
+            "--timeout",
+            "60",
+            *self.TABLE_FLAGS,
+            QUERY,
+        )
+        assert code == 0
+        assert "(1 rows)" in output
+
+    def test_bad_on_error_value_rejected(self, quotes_csv):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query",
+                    "--table",
+                    self.table_arg(quotes_csv),
+                    "--on-error",
+                    "explode",
+                    QUERY,
+                ]
+            )
+
+    def test_script_collect_continues(self, tmp_path, capsys):
+        script = tmp_path / "broken.sql"
+        script.write_text(
+            "CREATE TABLE t ( name Varchar(8), day Int, price Real );\n"
+            "INSERT INTO t VALUES ('A', 1, 10.0), ('A', 2, 9.0);\n"
+            "SELECT nonsense;\n"
+            "SELECT X.day FROM t CLUSTER BY name SEQUENCE BY day "
+            "AS (X, Y) WHERE Y.price < X.price\n"
+        )
+        code, output = run_cli(
+            "script", str(script), "--on-error", "collect"
+        )
+        assert code == 0
+        assert "(1 rows)" in output  # the final SELECT still ran
+        err = capsys.readouterr().err
+        assert "statement #3" in err
+
+    def test_script_raise_stops_with_statement_context(self, tmp_path, capsys):
+        script = tmp_path / "broken.sql"
+        script.write_text(
+            "CREATE TABLE t ( name Varchar(8), day Int, price Real );\n"
+            "SELECT nonsense;\n"
+        )
+        code, _ = run_cli("script", str(script))
+        assert code == 1
+        assert "statement #2" in capsys.readouterr().err
+
+
 class TestExplain:
     def test_plan_output(self):
         code, output = run_cli(
