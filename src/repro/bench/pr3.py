@@ -1,0 +1,261 @@
+"""Before/after benchmark for the compiled predicate fast path.
+
+Times the interpreted evaluator (``codegen=False``, the pre-PR path)
+against the compiled closures on three double-bottom workloads — the
+paper's DJIA Example 10 headline, a planted-occurrence series with known
+ground truth, and a fat-tailed random walk — and asserts, on every
+workload, that both paths produce bit-identical matches and predicate
+-test counts (timing runs are uninstrumented; separate instrumented runs
+verify the counts, so the paper's metric is never skewed by the
+profiler).
+
+``python -m repro.bench.pr3``                 regenerate BENCH_pr3.json
+``python -m repro.bench.pr3 --check``         compare against the committed
+                                              baseline; non-zero exit on a
+                                              >20% predicate-throughput
+                                              regression (CI smoke gate)
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.data.djia import djia_table
+from repro.data.planted import TEMPLATE_LENGTH, plant_double_bottoms
+from repro.data.random_walk import geometric_walk
+from repro.data.workloads import EXAMPLE_10
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Executor
+from repro.match.base import Instrumentation, Matcher
+from repro.match.naive import NaiveMatcher
+from repro.match.ops_star import OpsStarMatcher
+from repro.pattern.compiler import CompiledPattern
+from repro.pattern.predicates import AttributeDomains
+
+#: Default artefact location: the repository root.
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[3] / "BENCH_pr3.json"
+
+#: Matchers timed per workload: the paper's naive baseline (most
+#: predicate tests, so per-test savings dominate — the headline number)
+#: and the production OPS runtime.
+BENCH_MATCHERS: tuple[tuple[str, type], ...] = (
+    ("naive", NaiveMatcher),
+    ("ops", OpsStarMatcher),
+)
+
+
+def _best_time(
+    matcher: Matcher,
+    rows: Sequence[dict],
+    pattern: CompiledPattern,
+    repetitions: int,
+) -> float:
+    best = float("inf")
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        matcher.find_matches(rows, pattern, None)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _bench_workload(
+    rows: Sequence[dict],
+    pattern: CompiledPattern,
+    repetitions: int,
+) -> dict:
+    """Time interpreted vs compiled on one workload, verifying parity."""
+    interpreted = dataclasses.replace(pattern, use_codegen=False)
+    matchers: dict[str, dict] = {}
+    for name, matcher_cls in BENCH_MATCHERS:
+        matcher = matcher_cls()
+        fast_inst, oracle_inst = Instrumentation(), Instrumentation()
+        fast_matches = matcher.find_matches(rows, pattern, fast_inst)
+        oracle_matches = matcher.find_matches(rows, interpreted, oracle_inst)
+        if fast_matches != oracle_matches:
+            raise AssertionError(f"{name}: compiled path changed the matches")
+        if fast_inst.tests != oracle_inst.tests:
+            raise AssertionError(
+                f"{name}: predicate-test count diverged "
+                f"(compiled {fast_inst.tests}, interpreted {oracle_inst.tests})"
+            )
+        interpreted_s = _best_time(matcher, rows, interpreted, repetitions)
+        compiled_s = _best_time(matcher, rows, pattern, repetitions)
+        matchers[name] = {
+            "interpreted_s": round(interpreted_s, 6),
+            "compiled_s": round(compiled_s, 6),
+            "speedup": round(interpreted_s / compiled_s, 3),
+            "predicate_tests": fast_inst.tests,
+            "matches": len(fast_matches),
+            "compiled_tests_per_s": round(fast_inst.tests / compiled_s, 1),
+        }
+    return {"rows": len(rows), "matchers": matchers}
+
+
+def _double_bottom_pattern() -> CompiledPattern:
+    executor = Executor(
+        Catalog([djia_table()]), domains=AttributeDomains.prices()
+    )
+    _, compiled = executor.prepare(EXAMPLE_10)
+    return compiled
+
+
+def _price_rows(prices: Sequence[float]) -> list[dict]:
+    return [{"price": float(p), "date": i} for i, p in enumerate(prices)]
+
+
+def _bench_plan_cache() -> dict:
+    """Cold vs cached planning latency for the headline query."""
+    executor = Executor(
+        Catalog([djia_table()]), domains=AttributeDomains.prices()
+    )
+    started = time.perf_counter()
+    executor.prepare(EXAMPLE_10)
+    cold_s = time.perf_counter() - started
+    cached_s = float("inf")
+    for _ in range(5):
+        started = time.perf_counter()
+        executor.prepare(EXAMPLE_10)
+        cached_s = min(cached_s, time.perf_counter() - started)
+    return {
+        "cold_plan_s": round(cold_s, 6),
+        "cached_plan_s": round(cached_s, 6),
+        "plan_speedup": round(cold_s / cached_s, 1),
+        "hits": executor.plan_cache_hits,
+        "misses": executor.plan_cache_misses,
+    }
+
+
+def run_bench(profile: str = "full") -> dict:
+    repetitions = 3 if profile == "smoke" else 7
+    pattern = _double_bottom_pattern()
+    workloads: dict[str, dict] = {}
+
+    djia_rows = list(Catalog([djia_table()]).table("djia"))
+    workloads["djia_double_bottom"] = _bench_workload(
+        djia_rows, pattern, repetitions
+    )
+
+    if profile != "smoke":
+        n = 4000
+        positions = list(range(25, n - TEMPLATE_LENGTH - 2, 300))
+        planted, _anchors = plant_double_bottoms(n, positions, seed=11)
+        workloads["planted_double_bottom"] = _bench_workload(
+            _price_rows(planted), pattern, repetitions
+        )
+        walk = geometric_walk(4000, seed=2, shock_probability=0.05)
+        workloads["random_walk"] = _bench_workload(
+            _price_rows(walk), pattern, repetitions
+        )
+
+    headline = workloads["djia_double_bottom"]["matchers"]["naive"]
+    return {
+        "bench": "pr3-compiled-predicates",
+        "profile": profile,
+        "workloads": workloads,
+        "plan_cache": _bench_plan_cache(),
+        "headline": {
+            "workload": "djia_double_bottom",
+            "matcher": "naive",
+            "speedup": headline["speedup"],
+            "predicate_tests": headline["predicate_tests"],
+            "matches": headline["matches"],
+        },
+    }
+
+
+def check_against_baseline(
+    current: dict, baseline: dict, tolerance: float
+) -> list[str]:
+    """Regressions of the smoke gate; empty list means pass.
+
+    Correctness (test counts, match counts) must be exact; compiled
+    predicate throughput may degrade by at most ``tolerance`` relative
+    to the committed baseline.
+    """
+    failures: list[str] = []
+    for workload, recorded in current["workloads"].items():
+        recorded_matchers = recorded["matchers"]
+        baseline_matchers = (
+            baseline["workloads"].get(workload, {}).get("matchers", {})
+        )
+        for name, run in recorded_matchers.items():
+            reference = baseline_matchers.get(name)
+            if reference is None:
+                continue
+            for exact_key in ("predicate_tests", "matches"):
+                if run[exact_key] != reference[exact_key]:
+                    failures.append(
+                        f"{workload}/{name}: {exact_key} changed "
+                        f"{reference[exact_key]} -> {run[exact_key]}"
+                    )
+            floor = reference["compiled_tests_per_s"] * (1.0 - tolerance)
+            if run["compiled_tests_per_s"] < floor:
+                failures.append(
+                    f"{workload}/{name}: compiled predicate throughput "
+                    f"{run['compiled_tests_per_s']:.0f}/s fell more than "
+                    f"{tolerance:.0%} below the baseline "
+                    f"{reference['compiled_tests_per_s']:.0f}/s"
+                )
+    return failures
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--profile", choices=["full", "smoke"], default="full",
+        help="smoke runs only the DJIA workload with fewer repetitions",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed baseline instead of rewriting it",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional throughput regression in --check mode",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help="baseline JSON path (written without --check, read with it)",
+    )
+    args = parser.parse_args(argv)
+
+    current = run_bench(args.profile)
+    for workload, recorded in current["workloads"].items():
+        for name, run in recorded["matchers"].items():
+            print(
+                f"{workload:24s} {name:6s} interp={run['interpreted_s']:.4f}s "
+                f"compiled={run['compiled_s']:.4f}s speedup={run['speedup']:.2f}x "
+                f"tests={run['predicate_tests']} matches={run['matches']}"
+            )
+    cache = current["plan_cache"]
+    print(
+        f"plan cache: cold={cache['cold_plan_s']:.4f}s "
+        f"cached={cache['cached_plan_s']:.6f}s ({cache['plan_speedup']}x)"
+    )
+
+    if args.check:
+        if not args.output.exists():
+            print(f"no baseline at {args.output}; run without --check first")
+            return 2
+        baseline = json.loads(args.output.read_text())
+        failures = check_against_baseline(current, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}")
+            return 1
+        print("bench check passed")
+        return 0
+
+    args.output.write_text(json.dumps(current, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -94,19 +94,40 @@ class CountAggregate(_ColumnAggregate):
 
 class MinAggregate(_ColumnAggregate):
     def terminate(self) -> Iterable[object]:
-        return [min(self._values)] if self._values else []
+        if not self._values:
+            return []
+        try:
+            return [min(self._values)]  # type: ignore[type-var]
+        except TypeError:
+            raise ExecutionError(
+                f"MIN({self.column}): column mixes incomparable types"
+            ) from None
 
 
 class MaxAggregate(_ColumnAggregate):
     def terminate(self) -> Iterable[object]:
-        return [max(self._values)] if self._values else []
+        if not self._values:
+            return []
+        try:
+            return [max(self._values)]  # type: ignore[type-var]
+        except TypeError:
+            raise ExecutionError(
+                f"MAX({self.column}): column mixes incomparable types"
+            ) from None
 
 
 class AvgAggregate(_ColumnAggregate):
     def terminate(self) -> Iterable[object]:
         if not self._values:
             return []
-        numbers = [float(v) for v in self._values]  # type: ignore[arg-type]
+        numbers = []
+        for value in self._values:
+            try:
+                numbers.append(float(value))  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                raise ExecutionError(
+                    f"AVG({self.column}): non-numeric value {value!r}"
+                ) from None
         return [sum(numbers) / len(numbers)]
 
 

@@ -24,6 +24,7 @@ with no limits behaves exactly like the seed executor.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
@@ -55,6 +56,22 @@ MATCHERS: dict[str, type] = {
 #: Matchers that ignore shift/next and are therefore safe for degraded
 #: plans (restart-based scans).
 _RESTART_MATCHERS = ("naive", "backtracking")
+
+
+@dataclass
+class _CachedPlan:
+    """One plan-cache entry: the analysis/compilation outcome of a query.
+
+    ``planning_error`` is set when OPS compilation failed; ``compiled``
+    is then the degraded placeholder plan and ``degrade_reason`` the
+    downgrade diagnostic to re-record on every cache hit (diagnostics
+    are per-execution, the cache is not).
+    """
+
+    analyzed: AnalyzedQuery
+    compiled: CompiledPattern
+    planning_error: Optional[PlanningError] = None
+    degrade_reason: Optional[str] = None
 
 
 @dataclass
@@ -90,6 +107,8 @@ class Executor:
         policy: Union[ErrorPolicy, str] = ErrorPolicy.RAISE,
         limits: Optional[ResourceLimits] = None,
         fallback: Optional[str] = "naive",
+        codegen: bool = True,
+        plan_cache_size: int = 128,
     ):
         self._catalog = catalog
         self._domains = domains if domains is not None else AttributeDomains.none()
@@ -102,12 +121,24 @@ class Executor:
                 f"{_RESTART_MATCHERS}, got {fallback!r}"
             )
         self._fallback = fallback
+        self._codegen = codegen
+        if plan_cache_size < 0:
+            raise ExecutionError(
+                f"plan_cache_size must be >= 0, got {plan_cache_size}"
+            )
+        self._plan_cache_size = plan_cache_size
+        self._plan_cache: OrderedDict[
+            tuple[str, tuple[str, ...]], _CachedPlan
+        ] = OrderedDict()
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     def prepare(self, query: Union[str, ast.Query]) -> tuple[AnalyzedQuery, CompiledPattern]:
         """Parse, analyze, and OPS-compile a query without running it."""
-        parsed = parse_query(query) if isinstance(query, str) else query
-        analyzed = analyze(parsed, self._domains)
-        return analyzed, compile_pattern(analyzed.spec)
+        entry = self._analyze_and_compile(query)
+        if entry.planning_error is not None:
+            raise entry.planning_error
+        return entry.analyzed, entry.compiled
 
     def execute(
         self,
@@ -177,32 +208,70 @@ class Executor:
 
     # ------------------------------------------------------------------
 
+    def _analyze_and_compile(self, query: Union[str, ast.Query]) -> _CachedPlan:
+        """Parse/analyze/compile a query, memoized in the LRU plan cache.
+
+        Only string queries are cached (the text plus the domains
+        fingerprint fully determine the plan for a given executor
+        configuration); pre-built ``ast.Query`` objects bypass the cache
+        because they are mutable and identity-keyed at best.  Compilation
+        *failures* are cached too — the entry carries the original
+        :class:`PlanningError` alongside a degraded placeholder plan, and
+        the caller decides whether to raise or degrade.  Syntax and
+        semantic errors always raise and are never cached.
+        """
+        key = None
+        if isinstance(query, str) and self._plan_cache_size > 0:
+            key = (query, self._domains.fingerprint())
+            entry = self._plan_cache.get(key)
+            if entry is not None:
+                self._plan_cache.move_to_end(key)
+                self.plan_cache_hits += 1
+                return entry
+        if key is not None:
+            self.plan_cache_misses += 1
+        parsed = parse_query(query) if isinstance(query, str) else query
+        analyzed = analyze(parsed, self._domains)
+        try:
+            compiled = compile_pattern(analyzed.spec, codegen=self._codegen)
+            entry = _CachedPlan(analyzed, compiled)
+        except PlanningError as error:
+            entry = _CachedPlan(
+                analyzed,
+                degraded_pattern(analyzed.spec, codegen=self._codegen),
+                planning_error=error,
+                degrade_reason=(
+                    f"OPS compilation failed ({error}); executing with the "
+                    f"{self._fallback!r} matcher on a degraded plan"
+                ),
+            )
+        if key is not None:
+            self._plan_cache[key] = entry
+            if len(self._plan_cache) > self._plan_cache_size:
+                self._plan_cache.popitem(last=False)
+        return entry
+
     def _plan(
         self, query: Union[str, ast.Query], diagnostics: Diagnostics
     ) -> tuple[AnalyzedQuery, CompiledPattern, str, Matcher]:
-        """Parse/analyze/compile, degrading to the fallback plan if allowed.
+        """Produce the plan for one execution, degrading if allowed.
 
         Syntax and semantic errors always raise — there is nothing to
         degrade to without a valid query.  Planning (OPS compilation)
         errors degrade under a lenient policy: the pattern gets a
         placeholder plan and the restart-based fallback matcher, which
-        produces identical matches without shift/next.
+        produces identical matches without shift/next.  The downgrade
+        diagnostic is re-recorded on every execution, including plan-cache
+        hits — diagnostics belong to the execution, not the plan.
         """
-        parsed = parse_query(query) if isinstance(query, str) else query
-        analyzed = analyze(parsed, self._domains)
-        try:
-            compiled = compile_pattern(analyzed.spec)
-        except PlanningError as error:
+        entry = self._analyze_and_compile(query)
+        if entry.planning_error is not None:
             if not self._policy.lenient or self._fallback is None:
-                raise
-            compiled = degraded_pattern(analyzed.spec)
+                raise entry.planning_error
             name = self._fallback
-            diagnostics.record_downgrade(
-                f"OPS compilation failed ({error}); executing with the "
-                f"{name!r} matcher on a degraded plan"
-            )
-            return analyzed, compiled, name, MATCHERS[name]()
-        return analyzed, compiled, self._matcher_name, self._matcher
+            diagnostics.record_downgrade(entry.degrade_reason)
+            return entry.analyzed, entry.compiled, name, MATCHERS[name]()
+        return entry.analyzed, entry.compiled, self._matcher_name, self._matcher
 
     def _search_cluster(
         self,
@@ -247,6 +316,13 @@ def _resolve_matcher(matcher: Union[str, Matcher]) -> tuple[str, Matcher]:
             raise ExecutionError(
                 f"unknown matcher {matcher!r} (choose from {sorted(MATCHERS)})"
             ) from None
+    # Instance-passed matchers normalize to their registry key so reports
+    # and downgrade diagnostics name the same matcher an equivalent
+    # string argument would ("ops", not "OpsStarMatcher").  Exact type
+    # match only: a subclass is a different matcher and keeps its own name.
+    for name, cls in MATCHERS.items():
+        if type(matcher) is cls:
+            return name, matcher
     return type(matcher).__name__, matcher
 
 
@@ -286,8 +362,16 @@ def execute(
     instrumentation: Optional[Instrumentation] = None,
     policy: Union[ErrorPolicy, str] = ErrorPolicy.RAISE,
     limits: Optional[ResourceLimits] = None,
+    fallback: Optional[str] = "naive",
+    codegen: bool = True,
 ) -> Result:
     """One-shot convenience wrapper around :class:`Executor`."""
     return Executor(
-        catalog, domains=domains, matcher=matcher, policy=policy, limits=limits
+        catalog,
+        domains=domains,
+        matcher=matcher,
+        policy=policy,
+        limits=limits,
+        fallback=fallback,
+        codegen=codegen,
     ).execute(query, instrumentation)

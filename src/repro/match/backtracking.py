@@ -82,10 +82,13 @@ class BacktrackingMatcher:
         if j > pattern.m:
             return []
         element = pattern.spec.elements[j - 1]
+        evaluator = pattern.evaluators[j - 1]
         n = len(rows)
         if i >= n:
             return None
-        if not test_element(element.predicate, rows, i, bindings, j, instrumentation):
+        if not test_element(
+            element.predicate, rows, i, bindings, j, instrumentation, evaluator
+        ):
             return None
         if not element.star:
             extended = dict(bindings)
@@ -98,7 +101,7 @@ class BacktrackingMatcher:
         # boundary from longest to shortest, re-searching downstream.
         end = i
         while end + 1 < n and test_element(
-            element.predicate, rows, end + 1, bindings, j, instrumentation
+            element.predicate, rows, end + 1, bindings, j, instrumentation, evaluator
         ):
             end += 1
         for last in range(end, i - 1, -1):

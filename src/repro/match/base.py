@@ -10,7 +10,7 @@ curves of Figure 5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Protocol, Sequence
+from typing import Callable, Mapping, Optional, Protocol, Sequence
 
 from repro.pattern.compiler import CompiledPattern
 from repro.pattern.predicates import ElementPredicate, EvalContext
@@ -105,8 +105,18 @@ def test_element(
     bindings: Mapping[str, tuple[int, int]],
     pattern_position: int,
     instrumentation: Optional[Instrumentation],
+    evaluator: Optional[Callable] = None,
 ) -> bool:
-    """Evaluate one element predicate on one input tuple, instrumented."""
+    """Evaluate one element predicate on one input tuple, instrumented.
+
+    ``evaluator`` is the element's compiled fast path (an entry of
+    :attr:`~repro.pattern.compiler.CompiledPattern.evaluators`); when it
+    is None the interpreted ``predicate.test`` runs instead.  Both paths
+    are observationally identical, and the instrumentation count is
+    recorded before dispatch so the paper's metric is path-independent.
+    """
     if instrumentation is not None:
         instrumentation.record(index, pattern_position)
+    if evaluator is not None:
+        return evaluator(rows, index, bindings)
     return predicate.test(EvalContext(rows, index, bindings))

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 from typing import Mapping, Optional, Sequence
 
-from repro.match.base import Instrumentation, Match, Span, test_element
+from repro.match.base import Instrumentation, Match, Span
 from repro.pattern.compiler import CompiledPattern
+from repro.pattern.predicates import EvalContext
 from repro.resilience import Budget
 
 
@@ -69,10 +70,20 @@ class NaiveMatcher:
         i = start
         spans: list[Span] = []
         bindings: dict[str, tuple[int, int]] = {}
+        evaluators = pattern.evaluators
+        record = instrumentation.record if instrumentation is not None else None
         for j, element in enumerate(pattern.spec, start=1):
+            evaluator = evaluators[j - 1]
             if i >= n:
                 return None
-            if not test_element(element.predicate, rows, i, bindings, j, instrumentation):
+            # Inlined test_element: record, then compiled or interpreted.
+            if record is not None:
+                record(i, j)
+            if evaluator is not None:
+                satisfied = evaluator(rows, i, bindings)
+            else:
+                satisfied = element.predicate.test(EvalContext(rows, i, bindings))
+            if not satisfied:
                 return None
             first = i
             i += 1
@@ -80,12 +91,26 @@ class NaiveMatcher:
                 # Greedy: extend the run while tuples keep satisfying the
                 # predicate.  The failing test is charged here; the tuple
                 # that ends the run is re-tested by the next element.
-                while i < n and test_element(
-                    element.predicate, rows, i, bindings, j, instrumentation
-                ):
-                    i += 1
-                    if budget is not None and budget.step():
-                        return None
+                if record is None and budget is None and evaluator is not None:
+                    # Specialized uninstrumented compiled run — the
+                    # tightest loop the fast path allows.
+                    while i < n and evaluator(rows, i, bindings):
+                        i += 1
+                else:
+                    while i < n:
+                        if record is not None:
+                            record(i, j)
+                        if evaluator is not None:
+                            satisfied = evaluator(rows, i, bindings)
+                        else:
+                            satisfied = element.predicate.test(
+                                EvalContext(rows, i, bindings)
+                            )
+                        if not satisfied:
+                            break
+                        i += 1
+                        if budget is not None and budget.step():
+                            return None
             span = Span(first, i - 1)
             spans.append(span)
             bindings[element.name] = (span.start, span.end)

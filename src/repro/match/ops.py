@@ -26,8 +26,9 @@ from __future__ import annotations
 from typing import Mapping, Optional, Sequence
 
 from repro.errors import PlanningError
-from repro.match.base import Instrumentation, Match, Span, test_element
+from repro.match.base import Instrumentation, Match, Span
 from repro.pattern.compiler import CompiledPattern
+from repro.pattern.predicates import EvalContext
 from repro.resilience import Budget
 
 
@@ -44,6 +45,7 @@ class OpsMatcher:
         if pattern.has_star:
             raise PlanningError("OpsMatcher handles star-free patterns only")
         predicates = [element.predicate for element in pattern.spec]
+        evaluators = pattern.evaluators
         names = pattern.spec.names
         shift = pattern.shift_next.shift
         next_ = pattern.shift_next.next_
@@ -53,14 +55,25 @@ class OpsMatcher:
 
         # The paper indexes from 1; we keep j 1-based and translate i to
         # 0-based at the single point of evaluation.
+        record = instrumentation.record if instrumentation is not None else None
         i = 1
         j = 1
         while j <= m and i <= n:
             if budget is not None and budget.step():
                 break
-            while j > 0 and not test_element(
-                predicates[j - 1], rows, i - 1, _bindings(names, i, j), j, instrumentation
-            ):
+            while j > 0:
+                # Inlined test_element: record, then compiled or interpreted.
+                if record is not None:
+                    record(i - 1, j)
+                evaluator = evaluators[j - 1]
+                if evaluator is not None:
+                    satisfied = evaluator(rows, i - 1, _bindings(names, i, j))
+                else:
+                    satisfied = predicates[j - 1].test(
+                        EvalContext(rows, i - 1, _bindings(names, i, j))
+                    )
+                if satisfied:
+                    break
                 i = i - j + shift[j] + next_[j]
                 j = next_[j]
                 if i > n:

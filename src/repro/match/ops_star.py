@@ -41,8 +41,9 @@ from __future__ import annotations
 
 from typing import Mapping, Optional, Sequence
 
-from repro.match.base import Instrumentation, Match, Span, test_element
+from repro.match.base import Instrumentation, Match, Span
 from repro.pattern.compiler import CompiledPattern
+from repro.pattern.predicates import EvalContext
 from repro.resilience import Budget
 
 
@@ -73,8 +74,12 @@ class _Run:
         self.rows = rows
         self.pattern = pattern
         self.instrumentation = instrumentation
+        # Hot-path accessors hoisted once per scan: the bound record
+        # method (or None) and the per-element compiled evaluators.
+        self.record = instrumentation.record if instrumentation is not None else None
         self.budget = budget
         self.elements = pattern.spec.elements
+        self.evaluators = pattern.evaluators
         self.names = pattern.spec.names
         self.shift = pattern.shift_next.shift
         self.next_ = pattern.shift_next.next_
@@ -106,34 +111,51 @@ class _Run:
         once ``i + lookahead`` rows exist — or the stream has finished,
         at which point off-end navigation legitimately evaluates False.
         """
+        # Scan-invariant state hoisted into locals: every name below is a
+        # plain fast-local inside the loop instead of a ``self`` attribute
+        # read per iteration.  ``i``/``j``/``bindings`` mutate through the
+        # helper methods, so they are re-read after every helper call.
+        rows = self.rows
+        elements = self.elements
+        evaluators = self.evaluators
+        record = self.record
+        budget = self.budget
+        m = self.m
+        available = len(rows)
         while True:
-            if self.budget is not None and self.budget.step():
+            if budget is not None and budget.step():
                 return
-            if self.j > self.m:
+            j = self.j
+            if j > m:
                 self._record_match()
                 continue
-            element = self.elements[self.j - 1]
-            available = len(self.rows)
-            if self.i >= available or (
-                not finished and self.i + lookahead >= available
-            ):
-                if finished and self.i >= available:
+            element = elements[j - 1]
+            i = self.i
+            if i >= available or (not finished and i + lookahead >= available):
+                if finished and i >= available:
                     # End of input: only a pending final star run can
                     # still complete the pattern.
                     if (
                         element.star
                         and self.current_consumed > 0
-                        and self.j == self.m
+                        and j == m
                     ):
                         self._complete_element()
                         self._record_match()
                 return
-            satisfied = test_element(
-                element.predicate, self.rows, self.i, self.bindings, self.j,
-                self.instrumentation,
-            )
+            # Inlined test_element: record, then dispatch to the compiled
+            # evaluator (fast path) or the interpreted predicate.
+            if record is not None:
+                record(i, j)
+            evaluator = evaluators[j - 1]
+            if evaluator is not None:
+                satisfied = evaluator(rows, i, self.bindings)
+            else:
+                satisfied = element.predicate.test(
+                    EvalContext(rows, i, self.bindings)
+                )
             if satisfied:
-                self.i += 1
+                self.i = i + 1
                 self.current_consumed += 1
                 if not element.star:
                     self._complete_element()

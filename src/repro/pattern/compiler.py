@@ -12,7 +12,8 @@ the database, and its time-varying content".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from functools import cached_property
+from typing import Callable, Optional
 
 from repro.logic.matrix import TriangularMatrix
 from repro.pattern.analysis import build_phi, build_theta
@@ -40,10 +41,28 @@ class CompiledPattern:
     #: compilation failure: shift/next are placeholders, only safe for
     #: restart-based matchers (naive / backtracking).
     degraded: bool = False
+    #: False pins every element to the interpreted evaluator — the
+    #: differential-testing oracle (see ``docs/performance.md``).
+    use_codegen: bool = True
 
     @property
     def m(self) -> int:
         return len(self.spec)
+
+    @cached_property
+    def evaluators(self) -> tuple[Optional[Callable], ...]:
+        """Per-element compiled evaluators, lazily lowered and cached.
+
+        Entry ``j - 1`` is either a ``(rows, index, bindings) -> bool``
+        closure (see :mod:`repro.pattern.codegen`) or ``None``, in which
+        case matchers fall back to the interpreted ``predicate.test`` for
+        that element.  With ``use_codegen=False`` every entry is None.
+        """
+        if not self.use_codegen:
+            return (None,) * self.m
+        from repro.pattern.codegen import lower_predicate
+
+        return tuple(lower_predicate(e.predicate) for e in self.spec)
 
     @property
     def has_star(self) -> bool:
@@ -74,13 +93,17 @@ class CompiledPattern:
         return "\n".join(lines)
 
 
-def compile_pattern(spec: PatternSpec, use_equivalence: bool = True) -> CompiledPattern:
+def compile_pattern(
+    spec: PatternSpec, use_equivalence: bool = True, codegen: bool = True
+) -> CompiledPattern:
     """Run the full OPS compile-time analysis on a pattern.
 
     ``use_equivalence=False`` disables the equivalent-star-pair graph
     refinement (see :class:`~repro.pattern.star_graph.ImplicationGraph`),
     giving the paper's literal rule set — kept switchable for the
-    ablation benchmarks.
+    ablation benchmarks.  ``codegen=False`` disables the compiled
+    predicate fast path, pinning the plan to the interpreted evaluators
+    (the differential-testing oracle).
     """
     theta = build_theta(spec)
     phi = build_phi(spec)
@@ -97,6 +120,7 @@ def compile_pattern(spec: PatternSpec, use_equivalence: bool = True) -> Compiled
             shift_next=shift_next,
             s_matrix=None,
             graph=graph,
+            use_codegen=codegen,
         )
     shift_next, s_matrix = compute_shift_next(theta, phi)
     return CompiledPattern(
@@ -106,10 +130,11 @@ def compile_pattern(spec: PatternSpec, use_equivalence: bool = True) -> Compiled
         shift_next=shift_next,
         s_matrix=s_matrix,
         graph=None,
+        use_codegen=codegen,
     )
 
 
-def degraded_pattern(spec: PatternSpec) -> CompiledPattern:
+def degraded_pattern(spec: PatternSpec, codegen: bool = True) -> CompiledPattern:
     """A fallback plan for patterns OPS analysis cannot compile.
 
     theta/phi are left all-UNKNOWN and shift/next are the no-skip
@@ -131,6 +156,7 @@ def degraded_pattern(spec: PatternSpec) -> CompiledPattern:
         s_matrix=None,
         graph=None,
         degraded=True,
+        use_codegen=codegen,
     )
 
 

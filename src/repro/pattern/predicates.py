@@ -29,7 +29,7 @@ ever applied to inputs that already satisfied some element at position
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Optional, Sequence, Union
 
 from repro.constraints.atoms import AnyAtom, Op, atom, cat_atom
@@ -340,10 +340,21 @@ class ResidualCondition(Condition):
 
     The SQL-TS layer wraps binding-dependent WHERE conjuncts in these; the
     matrix analysis sees them only through ``has_residual``.
+
+    ``fast``, when present, is a pre-lowered form of the same condition
+    with the direct ``(rows, index, bindings) -> bool`` signature used by
+    :mod:`repro.pattern.codegen`; builders that can compile their
+    condition (the SQL-TS analyzer, via :mod:`repro.sqlts.codegen`)
+    attach it so the compiled fast path covers residuals too.  It must be
+    observationally identical to ``func`` and is therefore excluded from
+    equality.
     """
 
     func: Callable[[EvalContext], bool]
     description: str = "<residual>"
+    fast: Optional[
+        Callable[[Sequence[Mapping[str, object]], int, Mapping[str, tuple[int, int]]], bool]
+    ] = field(default=None, compare=False)
 
     def evaluate(self, ctx: EvalContext) -> bool:
         return bool(self.func(ctx))
@@ -367,6 +378,11 @@ class AttributeDomains:
 
     def is_positive(self, attribute: str) -> bool:
         return attribute in self._positive
+
+    def fingerprint(self) -> tuple[str, ...]:
+        """Hashable identity for plan-cache keys: two domains with the
+        same fingerprint compile every query identically."""
+        return tuple(sorted(self._positive))
 
     @classmethod
     def none(cls) -> "AttributeDomains":

@@ -314,13 +314,19 @@ class Budget:
         return False
 
     def add_rows(self, count: int) -> bool:
-        """Account for rows handed to the matcher; True when over limit."""
+        """Account for rows about to be handed to the matcher.
+
+        Check-then-charge: a batch that would push the total past the
+        limit trips the budget and is *not* charged, because the caller
+        skips it — so ``rows_scanned`` always equals the rows actually
+        scanned and agrees with the executor's report accounting.
+        """
         if self.tripped is not None:
             return True
-        self.rows_scanned += count
         maximum = self.limits.max_rows_scanned
-        if maximum is not None and self.rows_scanned > maximum:
+        if maximum is not None and self.rows_scanned + count > maximum:
             return self.trip(f"max_rows_scanned ({maximum}) exceeded")
+        self.rows_scanned += count
         return False
 
     def add_match(self) -> bool:

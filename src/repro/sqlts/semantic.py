@@ -51,6 +51,7 @@ from repro.pattern.predicates import (
 )
 from repro.pattern.spec import PatternElement, PatternSpec
 from repro.sqlts import ast
+from repro.sqlts.codegen import lower_residual
 from repro.sqlts.expressions import evaluate_condition
 
 
@@ -392,6 +393,8 @@ def _residual(conjunct: ast.Cond, element_var: str) -> ResidualCondition:
     The current element is temporarily bound to the tuple under test, so
     references to it (bare or via previous/next) resolve against the
     cursor position, while earlier elements resolve through their spans.
+    A pre-lowered fast form (see :mod:`repro.sqlts.codegen`) is attached
+    so the compiled evaluation path covers the residual too.
     """
 
     def evaluate(ctx: EvalContext) -> bool:
@@ -399,4 +402,8 @@ def _residual(conjunct: ast.Cond, element_var: str) -> ResidualCondition:
         bindings[element_var] = (ctx.index, ctx.index)
         return evaluate_condition(conjunct, ctx.rows, bindings, {})
 
-    return ResidualCondition(evaluate, description=str(conjunct))
+    return ResidualCondition(
+        evaluate,
+        description=str(conjunct),
+        fast=lower_residual(conjunct, element_var),
+    )

@@ -121,3 +121,35 @@ class TestStreamingPatternAggregate:
             list(aggregate.iterate({"price": value}))
             peak = max(peak, aggregate.buffered_rows)
         assert peak <= 10
+
+
+class TestAggregateTypeErrors:
+    """Regression: mixed-type columns raise ExecutionError, not raw
+    TypeError/ValueError, and the message names the column."""
+
+    def test_avg_non_numeric_value(self):
+        rows = [{"v": 1}, {"v": "oops"}]
+        with pytest.raises(ExecutionError, match=r"AVG\(v\).*'oops'"):
+            apply_aggregate(AvgAggregate("v"), rows)
+
+    def test_avg_none_value(self):
+        with pytest.raises(ExecutionError, match=r"AVG\(v\)"):
+            apply_aggregate(AvgAggregate("v"), [{"v": None}])
+
+    def test_avg_numeric_strings_still_convert(self):
+        assert apply_aggregate(AvgAggregate("v"), [{"v": "3"}, {"v": 1}]) == [2.0]
+
+    def test_min_mixed_types(self):
+        rows = [{"v": 1}, {"v": "a"}]
+        with pytest.raises(ExecutionError, match=r"MIN\(v\)"):
+            apply_aggregate(MinAggregate("v"), rows)
+
+    def test_max_mixed_types(self):
+        rows = [{"v": 1}, {"v": "a"}]
+        with pytest.raises(ExecutionError, match=r"MAX\(v\)"):
+            apply_aggregate(MaxAggregate("v"), rows)
+
+    def test_homogeneous_strings_compare_fine(self):
+        rows = [{"v": "b"}, {"v": "a"}]
+        assert apply_aggregate(MinAggregate("v"), rows) == ["a"]
+        assert apply_aggregate(MaxAggregate("v"), rows) == ["b"]

@@ -400,7 +400,7 @@ class TestGracefulDegradation:
         assert any("falling back" in d for d in result.diagnostics.downgrades)
 
     def test_compile_failure_falls_back(self, monkeypatch):
-        def broken_compile(spec, use_equivalence=True):
+        def broken_compile(spec, use_equivalence=True, codegen=True):
             raise PlanningError("synthetic compile failure")
 
         monkeypatch.setattr(
@@ -419,7 +419,7 @@ class TestGracefulDegradation:
     def test_compile_failure_raises_under_strict(self, monkeypatch):
         monkeypatch.setattr(
             "repro.engine.executor.compile_pattern",
-            lambda spec, use_equivalence=True: (_ for _ in ()).throw(
+            lambda spec, use_equivalence=True, codegen=True: (_ for _ in ()).throw(
                 PlanningError("synthetic")
             ),
         )
@@ -466,3 +466,98 @@ class TestExecutorLimits:
         result, report = Executor(sawtooth_catalog()).execute_with_report(STAR_QUERY)
         assert result.diagnostics.ok
         assert not report.limit_hit
+
+
+class TestAccountingAgreement:
+    """Regression: budget and report row accounting must agree."""
+
+    def test_add_rows_rejects_the_overflowing_batch(self):
+        # Check-then-charge: the batch that would exceed the limit trips
+        # the budget and is NOT charged (the caller skips it).  The old
+        # charge-then-check order left rows_scanned at 20 here while the
+        # executor's report counted 10.
+        budget = Budget(ResourceLimits(max_rows_scanned=15))
+        assert not budget.add_rows(10)
+        assert budget.add_rows(10)
+        assert budget.rows_scanned == 10
+        assert "max_rows_scanned" in budget.tripped
+
+    def test_report_rows_scanned_counts_whole_clusters(self):
+        table = quote_table(
+            [
+                quote_row(name, day, 10 + day % 3)
+                for name in ("A", "B", "C")
+                for day in range(10)
+            ]
+        )
+        result, report = Executor(
+            Catalog([table]), limits=ResourceLimits(max_rows_scanned=15)
+        ).execute_with_report(
+            "SELECT X.day FROM quote CLUSTER BY name SEQUENCE BY day "
+            "AS (X, Y) WHERE Y.price > X.price"
+        )
+        # One 10-row cluster fits under the 15-row cap; the second is
+        # rejected whole.  Report and budget agree on exactly 10.
+        assert report.rows_scanned == 10
+        assert result.diagnostics.limit_hit
+
+
+class TestExecuteWrapperPassthrough:
+    """Regression: the one-shot execute() forwards fallback and codegen."""
+
+    def test_fallback_none_disables_degradation(self):
+        from repro.engine.executor import execute
+
+        with pytest.raises(PlanningError):
+            execute(
+                STAR_QUERY,
+                sawtooth_catalog(),
+                matcher="ops-nonstar",
+                policy="collect",
+                fallback=None,
+            )
+
+    def test_fallback_choice_is_forwarded(self):
+        from repro.engine.executor import execute
+
+        result = execute(
+            STAR_QUERY,
+            sawtooth_catalog(),
+            matcher="ops-nonstar",
+            policy="collect",
+            fallback="backtracking",
+        )
+        assert len(result) >= 2
+
+    def test_codegen_flag_is_forwarded(self):
+        from repro.engine.executor import execute
+
+        fast = execute(STAR_QUERY, sawtooth_catalog())
+        interpreted = execute(STAR_QUERY, sawtooth_catalog(), codegen=False)
+        assert fast.rows == interpreted.rows
+
+
+class TestMatcherNameNormalization:
+    """Regression: instance-passed matchers report their registry key."""
+
+    def test_instance_normalizes_to_registry_key(self):
+        _, report = Executor(
+            sawtooth_catalog(), matcher=OpsStarMatcher()
+        ).execute_with_report(STAR_QUERY)
+        assert report.matcher == "ops"
+
+    def test_configured_instance_keeps_its_key(self):
+        _, report = Executor(
+            sawtooth_catalog(), matcher=NaiveMatcher(overlapping=True)
+        ).execute_with_report(STAR_QUERY)
+        assert report.matcher == "naive"
+
+    def test_subclass_keeps_its_own_name(self):
+        from repro.engine.executor import _resolve_matcher
+
+        class TracingMatcher(NaiveMatcher):
+            pass
+
+        name, matcher = _resolve_matcher(TracingMatcher())
+        assert name == "TracingMatcher"
+        assert isinstance(matcher, TracingMatcher)

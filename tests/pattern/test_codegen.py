@@ -1,0 +1,239 @@
+"""Unit tests for the compiled predicate fast path (repro.pattern.codegen).
+
+The contract under test: for every covered condition form, the lowered
+closure is observationally identical to the interpreted ``evaluate`` —
+same booleans, same False on off-end navigation and missing columns,
+same ``TypeError`` on non-numeric arithmetic — and uncovered forms make
+``lower_predicate`` return None (per-element interpreted fallback).
+"""
+
+import pytest
+
+from repro.constraints.atoms import Op
+from repro.pattern.codegen import lower_condition, lower_predicate
+from repro.pattern.compiler import compile_pattern
+from repro.pattern.predicates import (
+    Attr,
+    EvalContext,
+    OrCondition,
+    ResidualCondition,
+    StringEqualityCondition,
+    comparison,
+    predicate,
+)
+from repro.pattern.spec import PatternElement, PatternSpec
+from repro.sqlts.parser import parse_query
+from repro.sqlts.semantic import analyze
+from tests.conftest import DOMAINS, PREV, PRICE, price_predicate, price_rows
+
+ROWS = price_rows(50, 48, 52, 47, 47)
+
+
+def assert_parity(condition, rows, indices=None, bindings=None):
+    """The lowered closure agrees with interpreted evaluate everywhere."""
+    lowered = lower_condition(condition)
+    assert lowered is not None
+    bindings = bindings or {}
+    for index in indices if indices is not None else range(-2, len(rows) + 2):
+        expected = condition.evaluate(EvalContext(rows, index, bindings))
+        assert lowered(rows, index, bindings) == expected, (condition, index)
+
+
+class TestComparisonLowering:
+    def test_attr_vs_attr(self):
+        assert_parity(comparison(PRICE, "<", PREV), ROWS)
+        assert_parity(comparison(PRICE, ">=", 0.98 * PREV), ROWS)
+
+    def test_attr_vs_constant_and_flipped(self):
+        assert_parity(comparison(PRICE, ">", 48), ROWS)
+        assert_parity(comparison(48, "<=", PRICE), ROWS)
+
+    def test_ground_comparison_is_constant(self):
+        true_cond = comparison(1, "<", 2)
+        false_cond = comparison(2, "<", 1)
+        assert lower_condition(true_cond)([], 0, {}) is True
+        assert lower_condition(false_cond)([], 0, {}) is False
+
+    def test_linear_terms(self):
+        assert_parity(comparison(2 * PRICE + 1, "<", 3 * PREV - 4), ROWS)
+
+    def test_off_end_navigation_is_false(self):
+        condition = comparison(PRICE, "<", PREV)
+        lowered = lower_condition(condition)
+        assert lowered(ROWS, 0, {}) is False  # previous of row 0
+        assert lowered(ROWS, -1, {}) is False
+        assert lowered(ROWS, len(ROWS), {}) is False
+
+    def test_missing_column_is_false(self):
+        rows = [{"volume": 10}, {"price": 50.0}]
+        assert_parity(comparison(PRICE, ">", 0), rows)
+        assert_parity(comparison(PRICE, ">", PREV), rows, indices=[0, 1])
+
+    def test_type_error_parity_on_strings(self):
+        rows = [{"price": "not-a-number"}]
+        condition = comparison(PRICE, ">", 0)
+        lowered = lower_condition(condition)
+        with pytest.raises(TypeError):
+            condition.evaluate(EvalContext(rows, 0, {}))
+        with pytest.raises(TypeError):
+            lowered(rows, 0, {})
+
+
+class TestBandFusion:
+    BAND = price_predicate(
+        comparison(0.98 * PREV, "<", PRICE), comparison(PRICE, "<", 1.02 * PREV)
+    )
+
+    def test_fused_band_parity(self):
+        lowered = lower_predicate(self.BAND)
+        assert lowered is not None
+        for index in range(-1, len(ROWS) + 1):
+            assert lowered(ROWS, index, {}) == self.BAND.test(
+                EvalContext(ROWS, index, {})
+            )
+
+    def test_fusion_short_circuits_like_the_interpreter(self):
+        # First conjunct False on a non-numeric row must not mask the
+        # TypeError ordering: interpreted evaluates conjunct 1 fully
+        # (raising on the arithmetic) before conjunct 2.
+        rows = [{"price": 10.0}, {"price": "bad"}]
+        lowered = lower_predicate(self.BAND)
+        with pytest.raises(TypeError):
+            self.BAND.test(EvalContext(rows, 1, {}))
+        with pytest.raises(TypeError):
+            lowered(rows, 1, {})
+
+    def test_distinct_cells_do_not_fuse_incorrectly(self):
+        # Conditions over different cells take the generic conjunction
+        # path; parity must still hold.
+        pred = price_predicate(
+            comparison(PRICE, ">", 40), comparison(Attr("price", -2), "<", 60)
+        )
+        lowered = lower_predicate(pred)
+        assert lowered is not None
+        for index in range(len(ROWS)):
+            assert lowered(ROWS, index, {}) == pred.test(EvalContext(ROWS, index, {}))
+
+
+class TestStringEquality:
+    ROWS = [{"name": "IBM"}, {"name": "ACME"}, {"volume": 1}]
+
+    def test_eq_and_ne(self):
+        assert_parity(StringEqualityCondition(Attr("name", 0), Op.EQ, "IBM"), self.ROWS)
+        assert_parity(StringEqualityCondition(Attr("name", 0), Op.NE, "IBM"), self.ROWS)
+
+    def test_offset_and_missing_column(self):
+        assert_parity(
+            StringEqualityCondition(Attr("name", -1), Op.EQ, "IBM"), self.ROWS
+        )
+
+
+class TestDisjunctionLowering:
+    def test_or_condition_parity(self):
+        condition = OrCondition(
+            [
+                [comparison(PRICE, "<", 48)],
+                [comparison(PRICE, ">", 50), comparison(PRICE, "<", 53)],
+            ]
+        )
+        assert_parity(condition, ROWS)
+
+    def test_or_with_opaque_branch_falls_back(self):
+        condition = OrCondition(
+            [
+                [comparison(PRICE, "<", 48)],
+                [ResidualCondition(lambda ctx: True, "opaque")],
+            ]
+        )
+        assert lower_condition(condition) is None
+
+
+class TestFallback:
+    def test_opaque_residual_lowers_to_none(self):
+        pred = predicate(
+            comparison(PRICE, ">", 0),
+            ResidualCondition(lambda ctx: True, "opaque"),
+            domains=DOMAINS,
+        )
+        assert lower_predicate(pred) is None
+
+    def test_residual_with_fast_form_lowers(self):
+        fast = lambda rows, index, bindings: True
+        pred = predicate(
+            ResidualCondition(lambda ctx: True, "opaque", fast=fast),
+            domains=DOMAINS,
+        )
+        assert lower_predicate(pred) is not None
+
+    def test_empty_predicate_lowers_to_true(self):
+        pred = predicate(domains=DOMAINS)
+        assert lower_predicate(pred)(ROWS, 0, {}) is True
+
+
+class TestCompiledPatternEvaluators:
+    def spec(self):
+        return PatternSpec(
+            [
+                PatternElement("A", price_predicate(comparison(PRICE, ">", PREV))),
+                PatternElement(
+                    "B",
+                    predicate(
+                        ResidualCondition(lambda ctx: True, "opaque"),
+                        domains=DOMAINS,
+                    ),
+                ),
+            ]
+        )
+
+    def test_evaluators_align_with_elements(self):
+        compiled = compile_pattern(self.spec())
+        assert compiled.evaluators[0] is not None  # comparison lowers
+        assert compiled.evaluators[1] is None  # opaque residual falls back
+
+    def test_codegen_off_disables_every_evaluator(self):
+        compiled = compile_pattern(self.spec(), codegen=False)
+        assert compiled.evaluators == (None, None)
+
+
+class TestSemanticResidualFastForms:
+    def test_analyzer_attaches_fast_forms(self):
+        # Z.price > 1.5 * X.price reaches across a star: it stays a
+        # residual, and the analyzer must attach a compiled fast form.
+        query = parse_query(
+            """
+            SELECT X.price FROM quote CLUSTER BY name SEQUENCE BY date
+            AS (X, *Y, Z) WHERE Y.price < Y.previous.price
+            AND Z.price > X.price * 1.5
+            """
+        )
+        analyzed = analyze(query, DOMAINS)
+        residuals = [
+            condition
+            for element in analyzed.spec.elements
+            for condition in element.predicate.conditions
+            if isinstance(condition, ResidualCondition)
+        ]
+        assert residuals
+        assert all(condition.fast is not None for condition in residuals)
+
+    def test_residual_fast_parity_with_bindings(self):
+        query = parse_query(
+            """
+            SELECT X.price FROM quote CLUSTER BY name SEQUENCE BY date
+            AS (X, *Y, Z) WHERE Y.price < Y.previous.price
+            AND Z.price > X.price * 1.5
+            """
+        )
+        analyzed = analyze(query, DOMAINS)
+        predicate_z = analyzed.spec.elements[2].predicate
+        residual = next(
+            condition
+            for condition in predicate_z.conditions
+            if isinstance(condition, ResidualCondition)
+        )
+        rows = price_rows(50, 48, 46, 80)
+        for index in range(len(rows)):
+            bindings = {"X": (0, 0), "Y": (1, 2)}
+            assert residual.fast(rows, index, bindings) == residual.evaluate(
+                EvalContext(rows, index, bindings)
+            )
