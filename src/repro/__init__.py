@@ -33,30 +33,44 @@ Layers (each usable on its own):
 - :mod:`repro.constraints` — the GSW implication/satisfiability solver;
 - :mod:`repro.match`       — naive / backtracking / KMP / OPS runtimes;
 - :mod:`repro.engine`      — tables, clustering, UDAs, the executor;
+- :mod:`repro.recovery`    — checkpoint/restore for streaming queries;
 - :mod:`repro.data`        — deterministic synthetic datasets;
 - :mod:`repro.bench`       — the experiment harness.
 """
 
 from repro.engine.catalog import Catalog
-from repro.engine.executor import ExecutionReport, Executor, execute
+from repro.engine.executor import ExecutionReport, Executor, StreamingQuery, execute
 from repro.engine.result import Result
 from repro.engine.session import Session
 from repro.engine.table import Column, Schema, Table
 from repro.errors import (
+    CheckpointCorrupt,
     ConstraintError,
     ExecutionError,
     LimitExceeded,
     PlanningError,
+    RecoveryError,
     ReproError,
     SchemaError,
     SemanticError,
     SqlTsSyntaxError,
     StatementError,
+    StreamStateError,
+    TransientSourceError,
 )
 from repro.match.base import Instrumentation, Match, Span
+from repro.match.streaming import OpsStreamMatcher
 from repro.pattern.compiler import CompiledPattern, compile_pattern
 from repro.pattern.predicates import AttributeDomains
 from repro.pattern.spec import PatternElement, PatternSpec
+from repro.recovery import (
+    CheckpointPolicy,
+    CheckpointStore,
+    MatcherSnapshot,
+    RecoveringStreamRunner,
+    RetryPolicy,
+    pattern_fingerprint,
+)
 from repro.resilience import (
     Budget,
     Diagnostics,
@@ -103,5 +117,17 @@ __all__ = [
     "ConstraintError",
     "LimitExceeded",
     "StatementError",
+    "StreamStateError",
+    "TransientSourceError",
+    "RecoveryError",
+    "CheckpointCorrupt",
+    "OpsStreamMatcher",
+    "StreamingQuery",
+    "CheckpointStore",
+    "CheckpointPolicy",
+    "RetryPolicy",
+    "RecoveringStreamRunner",
+    "MatcherSnapshot",
+    "pattern_fingerprint",
     "__version__",
 ]

@@ -1,0 +1,128 @@
+"""CI smoke check for crash recovery: checkpoint mid-stream, resume.
+
+Streams the paper's DJIA double-bottom (Example 10) query, plants a
+crash halfway through the input, resumes from the durable checkpoint,
+and asserts the combined emission matches the committed
+``BENCH_pr3.json`` expectation (11 matches for the DJIA workload) with
+no duplicate positions — under both the compiled and the interpreted
+predicate evaluator (checkpoints are interchangeable between the two).
+
+``python -m repro.bench.recovery_smoke``      exit 0 on success, 1 with a
+                                              message per failed check
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.data.djia import djia_table
+from repro.data.workloads import EXAMPLE_10
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Executor
+from repro.pattern.predicates import AttributeDomains
+from repro.recovery import CheckpointPolicy, CheckpointStore, RecoveringStreamRunner
+
+BASELINE = Path(__file__).resolve().parents[3] / "BENCH_pr3.json"
+
+
+class _PlannedCrash(Exception):
+    """The simulated process death; never caught by the recovery layer."""
+
+
+def _expected_matches() -> int:
+    with open(BASELINE) as handle:
+        baseline = json.load(handle)
+    return baseline["workloads"]["djia_double_bottom"]["matchers"]["ops"]["matches"]
+
+
+def _source_factory(rows, crash_at):
+    def factory(start):
+        for offset in range(start, len(rows)):
+            if crash_at is not None and offset == crash_at:
+                raise _PlannedCrash(f"planted crash at offset {offset}")
+            yield offset, rows[offset]
+
+    return factory
+
+
+def _run_with_crash(pattern, rows, store_path, crash_at) -> list:
+    """One crash/resume cycle; returns every match emitted across both."""
+    store = CheckpointStore(store_path)
+    checkpoints = CheckpointPolicy(every_rows=100)
+    emitted = []
+    first = RecoveringStreamRunner(
+        pattern,
+        _source_factory(rows, crash_at),
+        store=store,
+        checkpoints=checkpoints,
+    )
+    try:
+        for _, match in first.run():
+            emitted.append(match)
+    except _PlannedCrash:
+        pass
+    else:
+        return emitted  # pragma: no cover - crash_at must be reachable
+    second = RecoveringStreamRunner(
+        pattern,
+        _source_factory(rows, None),
+        store=store,
+        checkpoints=checkpoints,
+    )
+    for _, match in second.run(resume=True):
+        emitted.append(match)
+    if second.diagnostics.checkpoints_restored != 1:
+        raise AssertionError(
+            f"expected exactly one checkpoint restore, got "
+            f"{second.diagnostics.checkpoints_restored}"
+        )
+    return emitted
+
+
+def main() -> int:
+    expected = _expected_matches()
+    table = djia_table()
+    rows = sorted(table, key=lambda row: row["date"])
+    catalog = Catalog()
+    catalog.register(table)
+    executor = Executor(catalog, domains=AttributeDomains.prices())
+    _, compiled = executor.prepare(EXAMPLE_10)
+    failures = []
+    for evaluator in ("compiled", "interpreted"):
+        pattern = (
+            compiled
+            if evaluator == "compiled"
+            else dataclasses.replace(compiled, use_codegen=False)
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            try:
+                emitted = _run_with_crash(
+                    pattern, rows, Path(tmp) / "smoke.ckpt", len(rows) // 2
+                )
+            except Exception as error:  # noqa: BLE001 - report and fail CI
+                failures.append(f"{evaluator}: crash/resume run failed: {error}")
+                continue
+        positions = [(match.start, match.end) for match in emitted]
+        if len(set(positions)) != len(positions):
+            failures.append(f"{evaluator}: duplicate match positions {positions}")
+        if len(emitted) != expected:
+            failures.append(
+                f"{evaluator}: {len(emitted)} matches after crash/resume, "
+                f"baseline expects {expected}"
+            )
+        else:
+            print(
+                f"recovery smoke [{evaluator}]: {len(emitted)} matches "
+                f"across crash/resume (baseline {expected}) ok"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,12 +27,13 @@ evaluator (default ``ops``).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
 from repro.bench.harness import NAMED_MATCHERS
 from repro.engine.catalog import Catalog
-from repro.engine.csv_io import load_csv
+from repro.engine.csv_io import _render, iter_csv, load_csv
 from repro.engine.executor import Executor
 from repro.engine.table import Schema
 from repro.errors import ExecutionError, ReproError
@@ -91,9 +92,25 @@ def _limits_from_args(args: argparse.Namespace) -> ResourceLimits:
         return ResourceLimits(
             max_matches=args.max_matches,
             wall_clock_deadline=args.timeout,
+            max_stream_buffer=getattr(args, "max_stream_buffer", None),
         )
     except ValueError as error:
         raise ExecutionError(str(error)) from None
+
+
+def _write_diagnostics_json(args: argparse.Namespace, diagnostics: Diagnostics) -> None:
+    """Serialize diagnostics to ``--diagnostics-json PATH`` when given.
+
+    Called on every exit path of a command — including exit code
+    {EXIT_LIMIT_HIT} (partial results) — so machine consumers always see
+    the counters.
+    """
+    path = getattr(args, "diagnostics_json", None)
+    if not path:
+        return
+    with open(path, "w") as handle:
+        json.dump(diagnostics.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -133,8 +150,13 @@ def _command_query(args: argparse.Namespace, out) -> int:
         limits=_limits_from_args(args),
     )
     instrumentation = Instrumentation()
-    result, report = executor.execute_with_report(args.sql, instrumentation)
+    try:
+        result, report = executor.execute_with_report(args.sql, instrumentation)
+    except ReproError:
+        _write_diagnostics_json(args, diagnostics)
+        raise
     diagnostics.merge(report.diagnostics)
+    _write_diagnostics_json(args, diagnostics)
     print(result.pretty(max_rows=args.max_rows), file=out)
     print(f"({len(result)} rows)", file=out)
     if not diagnostics.ok:
@@ -159,6 +181,94 @@ def _command_query(args: argparse.Namespace, out) -> int:
                     f"naive_tests={naive_inst.tests} speedup={speedup:.2f}x",
                     file=out,
                 )
+    return EXIT_LIMIT_HIT if diagnostics.limit_hit else 0
+
+
+def _stream_source(args: argparse.Namespace, diagnostics: Diagnostics):
+    """Build the offset-addressable row source for the query's table.
+
+    A ``--table`` spec whose name matches the query's FROM clause streams
+    straight from its CSV file (resumable by offset, never fully
+    loaded); ``--demo-data`` tables are materialized and sliced.
+    """
+    from repro.sqlts.parser import parse_query
+
+    parsed = parse_query(args.sql)
+    table_name = parsed.table
+    for name, path, schema in args.table:
+        if name == table_name:
+            policy = args.on_error
+            return lambda start: iter_csv(
+                path,
+                schema,
+                start_offset=start,
+                policy=policy,
+                diagnostics=diagnostics,
+            )
+    if args.demo_data:
+        from repro.data.djia import djia_table
+        from repro.data.quotes import quote_table
+
+        for table in (djia_table(), quote_table()):
+            if table.name == table_name:
+                rows = list(table)
+                if parsed.sequence_by:
+                    rows.sort(
+                        key=lambda row: tuple(
+                            row[attr] for attr in parsed.sequence_by
+                        )
+                    )
+                return lambda start: (
+                    (offset, row)
+                    for offset, row in enumerate(rows)
+                    if offset >= start
+                )
+    raise ExecutionError(
+        f"no stream source for table {table_name!r}: pass a matching "
+        f"--table spec or --demo-data"
+    )
+
+
+def _command_stream(args: argparse.Namespace, out) -> int:
+    from repro.recovery import CheckpointPolicy, CheckpointStore, RetryPolicy
+
+    diagnostics = Diagnostics()
+    source_factory = _stream_source(args, diagnostics)
+    executor = Executor(
+        Catalog(),
+        domains=AttributeDomains(args.positive),
+        limits=_limits_from_args(args),
+        codegen=args.evaluator == "compiled",
+    )
+    store = CheckpointStore(args.checkpoint) if args.checkpoint else None
+    if args.resume and store is None:
+        raise ExecutionError("--resume requires --checkpoint PATH")
+    checkpoints = CheckpointPolicy(
+        every_rows=args.checkpoint_every,
+        every_seconds=args.checkpoint_interval,
+    )
+    retry = RetryPolicy(max_retries=args.retry, backoff=args.backoff)
+    count = 0
+    try:
+        streaming = executor.stream(
+            args.sql,
+            source_factory,
+            store=store,
+            checkpoints=checkpoints,
+            retry=retry,
+            resume=args.resume,
+            overflow=args.overflow,
+            diagnostics=diagnostics,
+        )
+        print(",".join(streaming.columns), file=out)
+        for row in streaming.rows:
+            print(",".join(_render(value) for value in row), file=out)
+            count += 1
+    finally:
+        _write_diagnostics_json(args, diagnostics)
+    print(f"({count} rows)", file=out)
+    if not diagnostics.ok:
+        print(diagnostics.summary(), file=sys.stderr)
     return EXIT_LIMIT_HIT if diagnostics.limit_hit else 0
 
 
@@ -232,7 +342,116 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after N matches (kept); exits with code "
         f"{EXIT_LIMIT_HIT} when the cap is hit",
     )
+    query.add_argument(
+        "--diagnostics-json",
+        metavar="PATH",
+        default=None,
+        help="write Diagnostics counters as JSON to PATH (written on "
+        "every exit path, including partial results)",
+    )
     query.set_defaults(func=_command_query)
+
+    stream = subparsers.add_parser(
+        "stream",
+        help="execute a query as a crash-recoverable stream "
+        "(checkpoint/resume, retry/backoff, exactly-once emission)",
+    )
+    _add_common_arguments(stream)
+    stream.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="durable checkpoint file (written atomically; "
+        "PATH.prev keeps the previous good checkpoint)",
+    )
+    stream.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore matcher state and source position from --checkpoint "
+        "instead of starting over; already-emitted matches are suppressed",
+    )
+    stream.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=500,
+        metavar="N",
+        help="checkpoint every N source rows (default 500)",
+    )
+    stream.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="additionally checkpoint every SECONDS of wall-clock time",
+    )
+    stream.add_argument(
+        "--retry",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry a failing source up to N consecutive times "
+        "(default 0: fail fast)",
+    )
+    stream.add_argument(
+        "--backoff",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="initial retry backoff, doubled per consecutive failure "
+        "(default 0.1)",
+    )
+    stream.add_argument(
+        "--overflow",
+        choices=["raise", "restart"],
+        default="raise",
+        help="stream-buffer overflow behavior (restart drops the oldest "
+        "rows and keeps matching; spanning matches are lost)",
+    )
+    stream.add_argument(
+        "--max-stream-buffer",
+        type=int,
+        default=None,
+        metavar="N",
+        help="hard cap on the look-back window (rows)",
+    )
+    stream.add_argument(
+        "--evaluator",
+        choices=["compiled", "interpreted"],
+        default="compiled",
+        help="predicate evaluator (default: compiled); checkpoints are "
+        "interchangeable between the two",
+    )
+    stream.add_argument(
+        "--on-error",
+        choices=[policy.value for policy in ErrorPolicy],
+        default="raise",
+        help="how to treat malformed source rows: raise aborts (default), "
+        "skip/collect quarantine and continue",
+    )
+    stream.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline; on expiry the stream stops with "
+        f"partial results and exit code {EXIT_LIMIT_HIT}",
+    )
+    stream.add_argument(
+        "--max-matches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N matches (kept); exits with code "
+        f"{EXIT_LIMIT_HIT} when the cap is hit",
+    )
+    stream.add_argument(
+        "--diagnostics-json",
+        metavar="PATH",
+        default=None,
+        help="write Diagnostics counters (retries, checkpoints "
+        "written/restored, suppressed duplicates) as JSON to PATH",
+    )
+    stream.set_defaults(func=_command_stream)
 
     explain = subparsers.add_parser(
         "explain", help="show the compiled OPS plan for a query"
@@ -266,6 +485,13 @@ def build_parser() -> argparse.ArgumentParser:
         "skip/collect quarantine bad rows, and collect also continues "
         "past failing statements",
     )
+    script.add_argument(
+        "--diagnostics-json",
+        metavar="PATH",
+        default=None,
+        help="write Diagnostics counters as JSON to PATH (written even "
+        "when a statement fails)",
+    )
     script.set_defaults(func=_command_script)
     return parser
 
@@ -280,10 +506,13 @@ def _command_script(args: argparse.Namespace, out) -> int:
         matcher=args.matcher,
         policy=args.on_error,
     )
-    for result in session.run_script(text):
-        print(result.pretty(), file=out)
-        print(f"({len(result)} rows)", file=out)
-        print(file=out)
+    try:
+        for result in session.run_script(text):
+            print(result.pretty(), file=out)
+            print(f"({len(result)} rows)", file=out)
+            print(file=out)
+    finally:
+        _write_diagnostics_json(args, session.diagnostics)
     if not session.diagnostics.ok:
         print(session.diagnostics.summary(), file=sys.stderr)
     return EXIT_LIMIT_HIT if session.diagnostics.limit_hit else 0

@@ -18,7 +18,7 @@ import csv
 import datetime as _dt
 import math
 from pathlib import Path
-from typing import Optional, Union
+from typing import Iterator, Optional, Tuple, Union
 
 from repro.engine.table import Schema, Table
 from repro.errors import SchemaError
@@ -105,21 +105,87 @@ def load_csv(
             except SchemaError as error:
                 if not policy.lenient:
                     raise
-                values = tuple(
-                    record[column]
-                    for column in schema.names
-                    if record.get(column) is not _MISSING
-                )
-                # QuarantinedRow prepends source:line, so strip the
-                # prefix the contextual message already carries.
-                reason = str(error)
-                prefix = f"{path}:{line}: "
-                if reason.startswith(prefix):
-                    reason = reason[len(prefix) :]
-                sink.quarantine(str(path), line, reason, values)
-                if policy is ErrorPolicy.COLLECT:
-                    sink.record_error(line, f"{path}:{line}", error)
+                _quarantine_row(sink, policy, record, schema, path, line, error)
     return table
+
+
+def _quarantine_row(
+    sink: Diagnostics,
+    policy: ErrorPolicy,
+    record: dict,
+    schema: Schema,
+    path: Union[str, Path],
+    line: int,
+    error: SchemaError,
+) -> None:
+    """Record one malformed CSV row under a lenient policy."""
+    values = tuple(
+        record[column]
+        for column in schema.names
+        if record.get(column) is not _MISSING
+    )
+    # QuarantinedRow prepends source:line, so strip the
+    # prefix the contextual message already carries.
+    reason = str(error)
+    prefix = f"{path}:{line}: "
+    if reason.startswith(prefix):
+        reason = reason[len(prefix) :]
+    sink.quarantine(str(path), line, reason, values)
+    if policy is ErrorPolicy.COLLECT:
+        sink.record_error(line, f"{path}:{line}", error)
+
+
+def iter_csv(
+    path: Union[str, Path],
+    schema: Schema,
+    *,
+    start_offset: int = 0,
+    policy: Union[ErrorPolicy, str] = ErrorPolicy.RAISE,
+    diagnostics: Optional[Diagnostics] = None,
+) -> Iterator[Tuple[int, dict[str, object]]]:
+    """Stream a CSV file as ``(offset, row)`` pairs, resumable by offset.
+
+    Offsets number the *physical* data rows 0-based — quarantined rows
+    consume an offset too, so a row's offset is independent of the error
+    policy and stable across runs; that is what makes offsets safe to
+    persist in checkpoints and resume from.  Rows before ``start_offset``
+    are skipped without schema conversion (and without re-recording their
+    quarantine entries), so resuming does not re-validate the replayed
+    prefix.
+
+    This is the offset-addressable source for
+    :class:`~repro.recovery.RecoveringStreamRunner`:
+    ``lambda start: iter_csv(path, schema, start_offset=start, ...)``.
+    """
+    if start_offset < 0:
+        raise ValueError(f"start_offset must be non-negative, got {start_offset}")
+    policy = ErrorPolicy.coerce(policy)
+    sink = diagnostics if diagnostics is not None else Diagnostics()
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle, restkey=_EXTRA, restval=_MISSING)
+        if reader.fieldnames is None:
+            raise SchemaError(f"{path}: empty CSV file")
+        missing = set(schema.names) - set(reader.fieldnames)
+        if missing:
+            raise SchemaError(f"{path}: missing columns {sorted(missing)}")
+        for offset, record in enumerate(reader):
+            if offset < start_offset:
+                continue
+            line = reader.line_num
+            try:
+                row = _convert_record(
+                    record,
+                    schema,
+                    str(path),
+                    line,
+                    reject_non_finite=policy.lenient,
+                )
+            except SchemaError as error:
+                if not policy.lenient:
+                    raise
+                _quarantine_row(sink, policy, record, schema, path, line, error)
+                continue
+            yield offset, row
 
 
 def _convert_record(

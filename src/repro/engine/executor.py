@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Callable, Iterator, Mapping, Optional, Tuple, Union
 
 from repro.engine.aggregates import PatternSearchAggregate, apply_aggregate
 from repro.engine.catalog import Catalog
@@ -40,6 +40,12 @@ from repro.match.ops import OpsMatcher
 from repro.match.ops_star import OpsStarMatcher
 from repro.pattern.compiler import CompiledPattern, compile_pattern, degraded_pattern
 from repro.pattern.predicates import AttributeDomains
+from repro.recovery import (
+    CheckpointPolicy,
+    CheckpointStore,
+    RecoveringStreamRunner,
+    RetryPolicy,
+)
 from repro.resilience import Budget, Diagnostics, ErrorPolicy, ResourceLimits
 from repro.sqlts import ast
 from repro.sqlts.expressions import evaluate_condition, evaluate_expr
@@ -206,6 +212,82 @@ class Executor:
         )
         return Result(columns, output_rows, diagnostics), report
 
+    def stream(
+        self,
+        query: Union[str, ast.Query],
+        source_factory: Callable[[int], Iterator[Tuple[int, Mapping[str, object]]]],
+        *,
+        store: Optional[CheckpointStore] = None,
+        checkpoints: Optional[CheckpointPolicy] = None,
+        retry: Optional[RetryPolicy] = None,
+        resume: bool = False,
+        overflow: str = "raise",
+        instrumentation: Optional[Instrumentation] = None,
+        diagnostics: Optional[Diagnostics] = None,
+    ) -> "StreamingQuery":
+        """Plan a query for crash-recoverable streaming execution.
+
+        ``source_factory(start_offset)`` yields ``(offset, row)`` pairs
+        (see :class:`~repro.recovery.RecoveringStreamRunner` for the
+        contract; :func:`repro.engine.csv_io.iter_csv` satisfies it).
+        Returns a :class:`StreamingQuery` whose ``rows`` iterator lazily
+        drives the source and yields one projected output tuple per
+        match, checkpointing to ``store`` as configured.
+
+        Streaming has no degraded path: the bounded look-back buffer *is*
+        OPS's no-backtracking guarantee, so an unplannable pattern raises
+        :class:`PlanningError` regardless of the error policy.  CLUSTER
+        BY is rejected — a stream is one unbounded sequence; partition
+        upstream and run one streaming query per partition instead.
+        """
+        entry = self._analyze_and_compile(query)
+        if entry.planning_error is not None:
+            raise PlanningError(
+                f"streaming execution requires an OPS plan: "
+                f"{entry.planning_error}"
+            ) from entry.planning_error
+        analyzed, compiled = entry.analyzed, entry.compiled
+        if analyzed.cluster_by:
+            raise ExecutionError(
+                "streaming execution does not support CLUSTER BY "
+                f"{list(analyzed.cluster_by)}; partition the stream "
+                "upstream and run one streaming query per partition"
+            )
+        diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+        back, forward = _select_navigation(
+            analyzed.select, last_var=analyzed.spec.names[-1]
+        )
+        if forward:
+            diagnostics.warn(
+                "SELECT navigates past the match end "
+                f"({analyzed.spec.names[-1]}.NEXT); in streaming mode rows "
+                "past the newest streamed tuple evaluate as NULL"
+            )
+        ordered_factory = _ordered_source(
+            source_factory, analyzed.sequence_by
+        )
+        runner = RecoveringStreamRunner(
+            compiled,
+            ordered_factory,
+            store=store,
+            checkpoints=checkpoints,
+            retry=retry,
+            limits=self._limits if self._limits.bounded else None,
+            overflow=overflow,
+            extra_lookback=back,
+            instrumentation=instrumentation,
+            diagnostics=diagnostics,
+        )
+        columns = [
+            item.output_name(position)
+            for position, item in enumerate(analyzed.select, start=1)
+        ]
+        return StreamingQuery(
+            columns=columns,
+            runner=runner,
+            rows=_stream_rows(runner, analyzed, resume),
+        )
+
     # ------------------------------------------------------------------
 
     def _analyze_and_compile(self, query: Union[str, ast.Query]) -> _CachedPlan:
@@ -306,6 +388,134 @@ class Executor:
                 compiled, fallback, instrumentation, budget
             )
             return apply_aggregate(aggregate, rows), name, fallback
+
+
+@dataclass
+class StreamingQuery:
+    """A planned streaming execution: iterate ``rows`` to drive it.
+
+    ``rows`` yields one projected SELECT tuple per match, in emission
+    order.  ``runner`` exposes the live matcher, the current source
+    offset, and the shared diagnostics for monitoring mid-stream.
+    """
+
+    columns: list[str]
+    runner: RecoveringStreamRunner
+    rows: Iterator[tuple]
+
+    @property
+    def diagnostics(self) -> Diagnostics:
+        return self.runner.diagnostics
+
+    def __iter__(self) -> Iterator[tuple]:
+        return self.rows
+
+
+def _select_navigation(select, last_var: str) -> tuple[int, int]:
+    """(max backward steps, max forward-past-end steps) in the SELECT.
+
+    Backward navigation from *any* variable sizes the streaming matcher's
+    ``extra_lookback`` so projection (``X.previous.attr`` chains) never
+    reads a trimmed window position.  Forward navigation only escapes the
+    match — and therefore the streamed-so-far prefix — when anchored on
+    the final pattern variable, so only that case is reported.
+    """
+    back = 0
+    forward = 0
+
+    def visit(expr) -> None:
+        nonlocal back, forward
+        if isinstance(expr, ast.VarPath):
+            position = 0
+            for step in expr.navigation:
+                position += -1 if step == "previous" else 1
+                back = max(back, -position)
+                if expr.var == last_var:
+                    forward = max(forward, position)
+        elif isinstance(expr, ast.BinOp):
+            visit(expr.left)
+            visit(expr.right)
+        elif isinstance(expr, ast.Neg):
+            visit(expr.operand)
+
+    for item in select:
+        visit(item.expr)
+    return back, forward
+
+
+def _ordered_source(source_factory, sequence_by: tuple[str, ...]):
+    """Wrap a source factory with a SEQUENCE BY monotonicity guard.
+
+    Batch execution sorts each cluster by the SEQUENCE BY key; a stream
+    cannot be sorted after the fact, and silently matching against a
+    disordered stream would produce wrong results *and* make resume
+    nondeterministic — so out-of-order (or incomparable) keys raise
+    :class:`ExecutionError` naming the offset.
+    """
+    if not sequence_by:
+        return source_factory
+
+    def factory(start_offset: int):
+        previous: Optional[tuple] = None
+        for offset, row in source_factory(start_offset):
+            try:
+                key = tuple(row[attr] for attr in sequence_by)
+            except KeyError as error:
+                raise ExecutionError(
+                    f"stream row at offset {offset} is missing "
+                    f"SEQUENCE BY attribute {error.args[0]!r}"
+                ) from None
+            if previous is not None:
+                try:
+                    disordered = key < previous
+                except TypeError as error:
+                    raise ExecutionError(
+                        f"stream row at offset {offset}: SEQUENCE BY key "
+                        f"{key!r} is not comparable with {previous!r} "
+                        f"({error})"
+                    ) from None
+                if disordered:
+                    raise ExecutionError(
+                        f"stream is not ordered by SEQUENCE BY "
+                        f"{list(sequence_by)}: row at offset {offset} has "
+                        f"key {key!r} after {previous!r}"
+                    )
+            previous = key
+            yield offset, row
+
+    return factory
+
+
+def _stream_rows(
+    runner: RecoveringStreamRunner, analyzed: AnalyzedQuery, resume: bool
+) -> Iterator[tuple]:
+    """Project each emitted match against the matcher's live window."""
+    warned_trimmed = False
+    for _, match in runner.run(resume=resume):
+        window = runner.matcher.window
+        bindings = {
+            name: (span.start, span.end)
+            for name, span in match.bindings().items()
+        }
+        values = []
+        for item in analyzed.select:
+            try:
+                values.append(
+                    evaluate_expr(item.expr, window, bindings, analyzed.stars)
+                )
+            except RuntimeError:
+                # The window position was trimmed — possible after an
+                # overflow "restart" dropped rows a restored/pending
+                # match still references.  NULL matches the batch
+                # engine's off-end semantics.
+                values.append(None)
+                if not warned_trimmed:
+                    warned_trimmed = True
+                    runner.diagnostics.warn(
+                        "SELECT read a trimmed window position (dropped "
+                        "by a stream-buffer restart); emitting NULL"
+                    )
+        yield tuple(values)
 
 
 def _resolve_matcher(matcher: Union[str, Matcher]) -> tuple[str, Matcher]:

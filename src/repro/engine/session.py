@@ -115,6 +115,38 @@ class Session:
                 results.append(result)
         return results
 
+    def stream(
+        self,
+        query: str,
+        source_factory,
+        *,
+        store=None,
+        checkpoints=None,
+        retry=None,
+        resume: bool = False,
+        overflow: str = "raise",
+        instrumentation: Optional[Instrumentation] = None,
+    ):
+        """Plan a crash-recoverable streaming query (see Executor.stream).
+
+        ``source_factory(start_offset)`` yields ``(offset, row)`` pairs —
+        :func:`repro.engine.csv_io.iter_csv` satisfies the contract for
+        CSV files.  Stream diagnostics (checkpoints written/restored,
+        retries, suppressed duplicates) accumulate into
+        ``session.diagnostics``.
+        """
+        return self._executor.stream(
+            query,
+            source_factory,
+            store=store,
+            checkpoints=checkpoints,
+            retry=retry,
+            resume=resume,
+            overflow=overflow,
+            instrumentation=instrumentation,
+            diagnostics=self.diagnostics,
+        )
+
     def load_csv(
         self, path, name: str, schema: Union[Schema, object]
     ) -> Table:

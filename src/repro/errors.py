@@ -59,6 +59,44 @@ class LimitExceeded(ReproError):
         self.reason = reason if reason is not None else message
 
 
+class StreamStateError(ReproError, RuntimeError):
+    """Raised for misuse of a streaming matcher's lifecycle.
+
+    The canonical case is ``push()`` after ``finish()``.  The message
+    carries the matcher's state context (rows consumed, matches emitted)
+    so the offending call site can be diagnosed from logs alone.  Derives
+    from :class:`RuntimeError` as well, so pre-existing callers that
+    guarded the lifecycle with ``except RuntimeError`` keep working.
+    """
+
+
+class TransientSourceError(ReproError):
+    """A recoverable fault in a streaming row source.
+
+    Raise (or map provider errors onto) this to tell the recovering
+    stream runner that re-opening the source at the current offset is
+    worth attempting; it is retried according to the configured
+    :class:`~repro.recovery.RetryPolicy`.
+    """
+
+
+class RecoveryError(ReproError):
+    """Raised when checkpoint/restore cannot proceed safely.
+
+    Covers restoring a snapshot against a mismatched pattern fingerprint,
+    unsupported snapshot versions, and a missing checkpoint where one was
+    required.
+    """
+
+
+class CheckpointCorrupt(RecoveryError):
+    """A checkpoint file failed validation (magic, version, checksum,
+    truncation, or payload decoding).  The checkpoint store falls back to
+    the previous good checkpoint when one exists; this escapes only when
+    no usable checkpoint remains.
+    """
+
+
 class StatementError(ReproError):
     """A script statement failed; carries which one and why.
 

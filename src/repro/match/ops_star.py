@@ -87,6 +87,37 @@ class _Run:
         self.matches: list[Match] = []
         self._reset_attempt(0)
 
+    def capture_state(self) -> dict[str, object]:
+        """The in-flight attempt as plain data (streaming snapshots).
+
+        Covers everything :meth:`process` mutates except ``matches``,
+        which the snapshotting layer owns (it knows which matches were
+        already emitted downstream).  The result contains only built-in
+        types, so it serializes with any codec.
+        """
+        return {
+            "attempt_start": self.attempt_start,
+            "i": self.i,
+            "j": self.j,
+            "current_consumed": self.current_consumed,
+            "counts": list(self.counts),
+            "spans": [(span.start, span.end) for span in self.spans],
+            "bindings": {name: tuple(span) for name, span in self.bindings.items()},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rehydrate :meth:`capture_state` output into this run."""
+        self.attempt_start = int(state["attempt_start"])
+        self.i = int(state["i"])
+        self.j = int(state["j"])
+        self.current_consumed = int(state["current_consumed"])
+        self.counts = [int(count) for count in state["counts"]]
+        self.spans = [Span(start, end) for start, end in state["spans"]]
+        self.bindings = {
+            name: (int(span[0]), int(span[1]))
+            for name, span in dict(state["bindings"]).items()
+        }
+
     def _reset_attempt(self, start: int) -> None:
         self.attempt_start = start
         self.i = start

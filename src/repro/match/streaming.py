@@ -33,11 +33,14 @@ is recorded in :class:`~repro.resilience.Diagnostics`).
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, Optional
+from typing import TYPE_CHECKING, Iterator, Mapping, Optional
 
-from repro.errors import LimitExceeded
+from repro.errors import LimitExceeded, StreamStateError
 from repro.match.base import Instrumentation, Match
 from repro.match.ops_star import _Run
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.recovery import MatcherSnapshot
 from repro.pattern.compiler import CompiledPattern
 from repro.resilience import Budget, Diagnostics, ResourceLimits
 from repro.pattern.predicates import (
@@ -125,6 +128,11 @@ class _Window:
     def buffered(self) -> int:
         return len(self._rows)
 
+    @property
+    def base(self) -> int:
+        """Absolute index of the oldest retained row."""
+        return self._base
+
 
 class OpsStreamMatcher:
     """Incremental OPS: push tuples, collect matches as they complete."""
@@ -137,10 +145,15 @@ class OpsStreamMatcher:
         limits: Optional[ResourceLimits] = None,
         diagnostics: Optional[Diagnostics] = None,
         overflow: str = "raise",
+        extra_lookback: int = 0,
     ):
         if overflow not in ("raise", "restart"):
             raise ValueError(
                 f"overflow must be 'raise' or 'restart', got {overflow!r}"
+            )
+        if extra_lookback < 0:
+            raise ValueError(
+                f"extra_lookback must be non-negative, got {extra_lookback}"
             )
         self._pattern = pattern
         self._window = _Window()
@@ -157,9 +170,12 @@ class OpsStreamMatcher:
         low, high, opaque = pattern_offsets(pattern.spec)
         self._lookback = -low
         self._lookahead = high
+        self._extra_lookback = extra_lookback
         self._trim = trim and not opaque
         self._emitted = 0
+        self._high_water = -1
         self._finished = False
+        self._fingerprint: Optional[str] = None
 
     def push(self, row: Mapping[str, object]) -> list[Match]:
         """Feed one tuple; return matches completed by it.
@@ -168,18 +184,43 @@ class OpsStreamMatcher:
         quiescent: rows are still accepted but no further matching work
         is done, so the producing loop can drain cheaply.  Check
         :attr:`tripped` to stop early.
+
+        Rows belonging to the matches *returned by this call* are
+        retained in the window until the next ``push()``, so a caller may
+        evaluate SELECT expressions (navigating up to ``extra_lookback``
+        rows before each match) against :attr:`window` before feeding the
+        next tuple.
         """
         if self._finished:
-            raise RuntimeError("push() after finish()")
+            raise StreamStateError(
+                f"push() after finish(): the stream was already concluded "
+                f"after {len(self._window)} row(s) with "
+                f"{self._emitted} match(es) emitted"
+            )
         if self._budget is not None and self._budget.tripped is not None:
             return []
         self._window.append(row)
         self._run.process(finished=False, lookahead=self._lookahead)
+        retain = self._lookback + self._extra_lookback
+        live = self._run.attempt_start - self._lookback
         if self._trim:
-            self._window.trim_before(self._run.attempt_start - self._lookback)
+            # Keep the rows of matches completed by this push alive until
+            # the caller has seen them (they are trimmed next push).
+            keep = self._run.attempt_start - retain
+            fresh = self._run.matches[self._emitted :]
+            if fresh:
+                keep = min(keep, fresh[0].start - retain)
+            self._window.trim_before(keep)
         cap = self._limits.max_stream_buffer
-        if cap is not None and self._window.buffered > cap:
-            self._handle_overflow(cap)
+        if cap is not None:
+            # The cap bounds the *live* look-back the matcher itself still
+            # needs; rows retained only for caller-side projection of
+            # just-completed matches do not count against it.
+            buffered = (
+                len(self._window) - live if self._trim else self._window.buffered
+            )
+            if buffered > cap:
+                self._handle_overflow(cap)
         return self._drain()
 
     def _handle_overflow(self, cap: int) -> None:
@@ -202,6 +243,7 @@ class OpsStreamMatcher:
         keep_from = len(self._window) - cap
         self._run._reset_attempt(keep_from)
         self._window.trim_before(keep_from)
+        self.diagnostics.record_dropped_region()
         if not self._overflowed:
             self._overflowed = True
             self.diagnostics.record_limit(reason)
@@ -220,6 +262,8 @@ class OpsStreamMatcher:
     def _drain(self) -> list[Match]:
         fresh = self._run.matches[self._emitted :]
         self._emitted = len(self._run.matches)
+        if fresh:
+            self._high_water = max(self._high_water, fresh[-1].end)
         return fresh
 
     @property
@@ -236,3 +280,75 @@ class OpsStreamMatcher:
     def tripped(self) -> Optional[str]:
         """The budget trip reason, or None while within limits."""
         return self._budget.tripped if self._budget is not None else None
+
+    @property
+    def window(self) -> _Window:
+        """The live look-back window (absolute indexing)."""
+        return self._window
+
+    @property
+    def emitted_high_water(self) -> int:
+        """End position of the latest emitted match, or -1 if none."""
+        return self._high_water
+
+    @property
+    def finished(self) -> bool:
+        """Whether :meth:`finish` has concluded this stream."""
+        return self._finished
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable hash of the compiled pattern + matcher configuration.
+
+        Snapshots are keyed by this value so state can never be restored
+        against a different query or an incompatible matcher setup.
+        """
+        if self._fingerprint is None:
+            from repro.recovery import pattern_fingerprint
+
+            self._fingerprint = pattern_fingerprint(
+                self._pattern,
+                trim=self._trim,
+                overflow=self._overflow,
+                max_stream_buffer=self._limits.max_stream_buffer,
+                extra_lookback=self._extra_lookback,
+            )
+        return self._fingerprint
+
+    def snapshot(self) -> "MatcherSnapshot":
+        """Capture the full matcher state as a serializable snapshot."""
+        from repro.recovery import snapshot_matcher
+
+        return snapshot_matcher(self)
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: "MatcherSnapshot",
+        pattern: CompiledPattern,
+        *,
+        instrumentation: Optional[Instrumentation] = None,
+        trim: bool = True,
+        limits: Optional[ResourceLimits] = None,
+        diagnostics: Optional[Diagnostics] = None,
+        overflow: str = "raise",
+        extra_lookback: int = 0,
+    ) -> "OpsStreamMatcher":
+        """Rebuild a matcher from :meth:`snapshot` output.
+
+        The live ``pattern`` and configuration must reproduce the
+        snapshot's fingerprint; otherwise
+        :class:`~repro.errors.RecoveryError` is raised.
+        """
+        from repro.recovery import restore_matcher
+
+        return restore_matcher(
+            snapshot,
+            pattern,
+            instrumentation=instrumentation,
+            trim=trim,
+            limits=limits,
+            diagnostics=diagnostics,
+            overflow=overflow,
+            extra_lookback=extra_lookback,
+        )

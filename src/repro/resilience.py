@@ -148,7 +148,18 @@ class Diagnostics:
     never look at diagnostics observe today's behavior untouched.
     """
 
-    __slots__ = ("warnings", "quarantined", "limits_hit", "errors", "downgrades")
+    __slots__ = (
+        "warnings",
+        "quarantined",
+        "limits_hit",
+        "errors",
+        "downgrades",
+        "retries",
+        "checkpoints_written",
+        "checkpoints_restored",
+        "duplicates_suppressed",
+        "dropped_regions",
+    )
 
     def __init__(self) -> None:
         self.warnings: list[str] = []
@@ -156,6 +167,13 @@ class Diagnostics:
         self.limits_hit: list[str] = []
         self.errors: list[StatementFailure] = []
         self.downgrades: list[str] = []
+        # Recovery counters (see repro.recovery / docs/resilience.md).
+        # Pure counts: normal checkpoint traffic must not flip ``ok``.
+        self.retries = 0
+        self.checkpoints_written = 0
+        self.checkpoints_restored = 0
+        self.duplicates_suppressed = 0
+        self.dropped_regions = 0
 
     # -- recording ------------------------------------------------------
 
@@ -176,6 +194,26 @@ class Diagnostics:
     def record_error(self, index: int, snippet: str, error: Exception) -> None:
         self.errors.append(StatementFailure(index, snippet, error))
 
+    def record_retry(self, reason: str) -> None:
+        """One source retry: counted, and surfaced as a warning (a stream
+        that needed retries was not a clean run)."""
+        self.retries += 1
+        self.warnings.append(f"retry: {reason}")
+
+    def record_checkpoint_written(self) -> None:
+        self.checkpoints_written += 1
+
+    def record_checkpoint_restored(self) -> None:
+        self.checkpoints_restored += 1
+
+    def record_duplicates_suppressed(self, count: int) -> None:
+        """Replayed matches withheld to preserve exactly-once emission."""
+        self.duplicates_suppressed += count
+
+    def record_dropped_region(self) -> None:
+        """One stream-buffer overflow restart dropped a region of rows."""
+        self.dropped_regions += 1
+
     def merge(self, other: "Diagnostics") -> None:
         """Fold another diagnostics record into this one."""
         self.warnings.extend(other.warnings)
@@ -183,6 +221,11 @@ class Diagnostics:
         self.limits_hit.extend(other.limits_hit)
         self.errors.extend(other.errors)
         self.downgrades.extend(other.downgrades)
+        self.retries += other.retries
+        self.checkpoints_written += other.checkpoints_written
+        self.checkpoints_restored += other.checkpoints_restored
+        self.duplicates_suppressed += other.duplicates_suppressed
+        self.dropped_regions += other.dropped_regions
 
     # -- inspection -----------------------------------------------------
 
@@ -203,6 +246,81 @@ class Diagnostics:
     @property
     def degraded(self) -> bool:
         return bool(self.downgrades)
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable view: counters first, then the detail lists.
+
+        This is the payload of the CLI's ``--diagnostics-json`` flag and
+        the form in which diagnostics travel inside matcher snapshots, so
+        it must stay free of live objects — quarantined values and
+        statement errors are rendered to strings.
+        """
+        return {
+            "ok": self.ok,
+            "counters": {
+                "warnings": len(self.warnings),
+                "quarantined_rows": len(self.quarantined),
+                "limits_hit": len(self.limits_hit),
+                "statement_errors": len(self.errors),
+                "downgrades": len(self.downgrades),
+                "retries": self.retries,
+                "checkpoints_written": self.checkpoints_written,
+                "checkpoints_restored": self.checkpoints_restored,
+                "duplicates_suppressed": self.duplicates_suppressed,
+                "dropped_regions": self.dropped_regions,
+            },
+            "warnings": list(self.warnings),
+            "quarantined": [
+                {
+                    "source": row.source,
+                    "line": row.line,
+                    "reason": row.reason,
+                    "values": [str(value) for value in row.values],
+                }
+                for row in self.quarantined
+            ],
+            "limits_hit": list(self.limits_hit),
+            "downgrades": list(self.downgrades),
+            "errors": [
+                {
+                    "index": failure.index,
+                    "snippet": failure.snippet,
+                    "error": str(failure.error),
+                }
+                for failure in self.errors
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Diagnostics":
+        """Rehydrate a :meth:`to_dict` payload (snapshot restore path).
+
+        Statement errors come back as generic exceptions carrying the
+        original message — the live exception object does not survive the
+        round trip, which is fine for the post-mortem use the collected
+        list serves.
+        """
+        diagnostics = cls()
+        diagnostics.warnings = [str(w) for w in payload.get("warnings", [])]
+        for row in payload.get("quarantined", []):
+            diagnostics.quarantine(
+                row["source"], row["line"], row["reason"], tuple(row.get("values", ()))
+            )
+        diagnostics.limits_hit = [str(r) for r in payload.get("limits_hit", [])]
+        diagnostics.downgrades = [str(d) for d in payload.get("downgrades", [])]
+        for failure in payload.get("errors", []):
+            diagnostics.record_error(
+                failure["index"], failure["snippet"], Exception(failure["error"])
+            )
+        counters = payload.get("counters", {})
+        diagnostics.retries = int(counters.get("retries", 0))
+        diagnostics.checkpoints_written = int(counters.get("checkpoints_written", 0))
+        diagnostics.checkpoints_restored = int(counters.get("checkpoints_restored", 0))
+        diagnostics.duplicates_suppressed = int(
+            counters.get("duplicates_suppressed", 0)
+        )
+        diagnostics.dropped_regions = int(counters.get("dropped_regions", 0))
+        return diagnostics
 
     def summary(self) -> str:
         """A human-readable multi-line report (CLI stderr output)."""

@@ -1,0 +1,109 @@
+"""Randomized differential test: snapshot/restore never changes matches.
+
+Streams random price series through :class:`OpsStreamMatcher` in random
+chunk sizes, injecting a full snapshot → durable checkpoint → restore
+cycle at randomized (seeded) points, and asserts the emitted match
+sequence is identical to the batch :class:`OpsStarMatcher` on the same
+rows — for both the compiled and the interpreted evaluator, which must
+also accept each other's checkpoints (the fingerprint excludes the
+evaluator mode).
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.match.ops_star import OpsStarMatcher
+from repro.match.streaming import OpsStreamMatcher
+from repro.pattern.compiler import compile_pattern
+from repro.pattern.predicates import comparison
+from repro.pattern.spec import PatternElement, PatternSpec
+from repro.recovery import CheckpointStore
+from tests.conftest import PREV, PRICE, price_predicate
+
+RISE = price_predicate(comparison(PRICE, ">", PREV), label="rise")
+FALL = price_predicate(comparison(PRICE, "<", PREV), label="fall")
+LOW = price_predicate(comparison(PRICE, "<", 10), label="low")
+MID = price_predicate(
+    comparison(5, "<", PRICE), comparison(PRICE, "<", 40), label="mid"
+)
+
+#: Element pools the random patterns draw from.
+_PREDICATES = [RISE, FALL, LOW, MID]
+
+
+def random_pattern(rng: random.Random):
+    length = rng.randint(2, 4)
+    elements = []
+    for position in range(length):
+        predicate = rng.choice(_PREDICATES)
+        star = rng.random() < 0.4
+        elements.append(
+            PatternElement(f"E{position}", predicate, star=star)
+        )
+    # At least one non-star element keeps the pattern satisfiable in the
+    # usual sense (all-star patterns are legal but degenerate).
+    if all(element.star for element in elements):
+        elements[-1] = PatternElement(
+            elements[-1].name, elements[-1].predicate, star=False
+        )
+    return PatternSpec(elements)
+
+
+@pytest.mark.parametrize("codegen", [True, False], ids=["compiled", "interpreted"])
+@pytest.mark.parametrize("seed", range(8))
+def test_random_streams_with_restore_match_batch(seed, codegen, tmp_path):
+    rng = random.Random(seed)
+    spec = random_pattern(rng)
+    pattern = compile_pattern(spec, codegen=codegen)
+    rows = [{"price": float(rng.randint(1, 50))} for _ in range(rng.randint(50, 300))]
+    expected = OpsStarMatcher().find_matches(rows, pattern)
+
+    store = CheckpointStore(tmp_path / f"ck-{seed}")
+    matcher = OpsStreamMatcher(pattern)
+    emitted = []
+    index = 0
+    while index < len(rows):
+        chunk = rng.randint(1, 7)
+        for row in rows[index : index + chunk]:
+            emitted.extend(matcher.push(row))
+        index += chunk
+        if rng.random() < 0.3:
+            store.save(matcher.snapshot())
+            # Restore under the *other* evaluator half the time: the
+            # fingerprint guarantees checkpoints are interchangeable.
+            restore_pattern = pattern
+            if rng.random() < 0.5:
+                restore_pattern = dataclasses.replace(
+                    pattern, use_codegen=not pattern.use_codegen
+                )
+            matcher = OpsStreamMatcher.restore(store.load(), restore_pattern)
+    emitted.extend(matcher.finish())
+    assert emitted == expected
+
+
+@pytest.mark.parametrize("codegen", [True, False], ids=["compiled", "interpreted"])
+def test_restore_every_row_matches_batch(codegen, tmp_path):
+    """The brutal case: checkpoint + restore after every single push."""
+    rng = random.Random(99)
+    pattern = compile_pattern(
+        PatternSpec(
+            [
+                PatternElement("Y", RISE, star=True),
+                PatternElement("Z", FALL),
+            ]
+        ),
+        codegen=codegen,
+    )
+    rows = [{"price": float(rng.randint(1, 30))} for _ in range(120)]
+    expected = OpsStarMatcher().find_matches(rows, pattern)
+    store = CheckpointStore(tmp_path / "ck")
+    matcher = OpsStreamMatcher(pattern)
+    emitted = []
+    for row in rows:
+        emitted.extend(matcher.push(row))
+        store.save(matcher.snapshot())
+        matcher = OpsStreamMatcher.restore(store.load(), pattern)
+    emitted.extend(matcher.finish())
+    assert emitted == expected

@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.errors import StreamStateError
 from repro.match.naive import NaiveMatcher
 from repro.match.ops_star import OpsStarMatcher
 from repro.match.streaming import OpsStreamMatcher, pattern_offsets, _Window
@@ -163,6 +164,18 @@ class TestIncrementalBehaviour:
         matcher.finish()
         with pytest.raises(RuntimeError):
             matcher.push({"price": 1.0})
+
+    def test_push_after_finish_is_contextual_repro_error(self):
+        plan = compiled(("A", LOW, False))
+        matcher = OpsStreamMatcher(plan)
+        matcher.push({"price": 5.0})
+        matcher.finish()
+        with pytest.raises(StreamStateError) as excinfo:
+            matcher.push({"price": 1.0})
+        message = str(excinfo.value)
+        assert "push() after finish()" in message
+        assert "1 row(s)" in message
+        assert "1 match(es)" in message
 
     def test_finish_idempotent(self):
         plan = compiled(("A", LOW, False))

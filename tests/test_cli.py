@@ -279,3 +279,163 @@ class TestScript:
         code, _ = run_cli("script", str(script))
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+STREAM_QUERY = (
+    "SELECT FIRST(Y).price FROM walk SEQUENCE BY t AS (X, *Y, Z) "
+    "WHERE Y.price > Y.previous.price AND Z.price < Z.previous.price"
+)
+
+
+@pytest.fixture
+def walk_csv(tmp_path):
+    path = tmp_path / "walk.csv"
+    lines = ["t,price"]
+    prices = [10, 11, 12, 9, 10, 13, 8, 9, 14, 7]
+    lines.extend(f"{t},{p}.0" for t, p in enumerate(prices))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestStream:
+    def _args(self, walk_csv, *extra):
+        return (
+            "stream",
+            "--table",
+            f"walk={walk_csv}:t:int,price:float",
+            "--positive",
+            "price",
+            *extra,
+            STREAM_QUERY,
+        )
+
+    def test_stream_over_csv(self, walk_csv):
+        code, output = run_cli(*self._args(walk_csv))
+        assert code == 0
+        assert output.splitlines()[0] == "FIRST(Y).price"
+        assert "(3 rows)" in output
+
+    def test_stream_matches_query_subcommand(self, walk_csv):
+        stream_code, stream_out = run_cli(*self._args(walk_csv))
+        query_code, query_out = run_cli(
+            "query",
+            "--table",
+            f"walk={walk_csv}:t:int,price:float",
+            "--positive",
+            "price",
+            STREAM_QUERY,
+        )
+        assert stream_code == query_code == 0
+        assert stream_out.count("\n") >= 2  # header + rows + count
+
+    def test_checkpoint_then_resume_emits_nothing(self, walk_csv, tmp_path):
+        checkpoint = tmp_path / "walk.ckpt"
+        code, output = run_cli(
+            *self._args(walk_csv, "--checkpoint", str(checkpoint))
+        )
+        assert code == 0
+        assert "(3 rows)" in output
+        assert checkpoint.exists()
+        code, output = run_cli(
+            *self._args(walk_csv, "--checkpoint", str(checkpoint), "--resume")
+        )
+        assert code == 0
+        assert "(0 rows)" in output
+
+    def test_resume_requires_checkpoint(self, walk_csv, capsys):
+        code, _ = run_cli(*self._args(walk_csv, "--resume"))
+        assert code == 1
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_interpreted_evaluator_agrees(self, walk_csv):
+        compiled_code, compiled_out = run_cli(*self._args(walk_csv))
+        interp_code, interp_out = run_cli(
+            *self._args(walk_csv, "--evaluator", "interpreted")
+        )
+        assert compiled_code == interp_code == 0
+        assert compiled_out == interp_out
+
+    def test_diagnostics_json_written(self, walk_csv, tmp_path):
+        report = tmp_path / "diag.json"
+        checkpoint = tmp_path / "walk.ckpt"
+        code, _ = run_cli(
+            *self._args(
+                walk_csv,
+                "--checkpoint",
+                str(checkpoint),
+                "--diagnostics-json",
+                str(report),
+            )
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["counters"]["checkpoints_written"] >= 1
+        assert payload["counters"]["retries"] == 0
+
+    def test_diagnostics_json_on_limit_exit(self, walk_csv, tmp_path, capsys):
+        report = tmp_path / "diag.json"
+        code, _ = run_cli(
+            *self._args(
+                walk_csv,
+                "--max-matches",
+                "1",
+                "--diagnostics-json",
+                str(report),
+            )
+        )
+        assert code == 3
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["counters"]["limits_hit"] == 1
+        assert not payload["ok"]
+
+    def test_unknown_table_is_clean_error(self, capsys):
+        code, _ = run_cli("stream", "--positive", "price", STREAM_QUERY)
+        assert code == 1
+        assert "no stream source" in capsys.readouterr().err
+
+
+class TestDiagnosticsJson:
+    def test_query_writes_diagnostics_on_limit(self, quotes_csv, tmp_path):
+        report = tmp_path / "diag.json"
+        code, _ = run_cli(
+            "query",
+            "--table",
+            f"quote={quotes_csv}:name:str,date:date,price:float",
+            "--positive",
+            "price",
+            "--max-matches",
+            "1",
+            "--diagnostics-json",
+            str(report),
+            QUERY,
+        )
+        assert code == 3
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["counters"]["limits_hit"] == 1
+
+    def test_script_writes_diagnostics(self, tmp_path):
+        report = tmp_path / "diag.json"
+        script = tmp_path / "session.sql"
+        script.write_text(
+            "CREATE TABLE q ( name Varchar(8), price Real );\n"
+            "INSERT INTO q VALUES ('IBM', 'oops');"
+        )
+        code, _ = run_cli(
+            "script",
+            str(script),
+            "--on-error",
+            "skip",
+            "--diagnostics-json",
+            str(report),
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["counters"]["quarantined_rows"] == 1
