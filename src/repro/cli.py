@@ -148,6 +148,8 @@ def _command_query(args: argparse.Namespace, out) -> int:
         matcher=args.matcher,
         policy=args.on_error,
         limits=_limits_from_args(args),
+        workers=args.workers,
+        parallel_mode=args.parallel_mode,
     )
     instrumentation = Instrumentation()
     try:
@@ -343,6 +345,22 @@ def build_parser() -> argparse.ArgumentParser:
         f"{EXIT_LIMIT_HIT} when the cap is hit",
     )
     query.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="partition-parallel workers (default 1: serial); output is "
+        "identical to serial execution — see docs/performance.md",
+    )
+    query.add_argument(
+        "--parallel-mode",
+        choices=["auto", "process", "thread"],
+        default="auto",
+        help="worker pool flavor for --workers > 1: process pools suit "
+        "compiled CPU-bound work, threads suit small inputs "
+        "(default: auto)",
+    )
+    query.add_argument(
         "--diagnostics-json",
         metavar="PATH",
         default=None,
@@ -486,6 +504,14 @@ def build_parser() -> argparse.ArgumentParser:
         "past failing statements",
     )
     script.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="partition-parallel workers for the script's queries "
+        "(default 1: serial)",
+    )
+    script.add_argument(
         "--diagnostics-json",
         metavar="PATH",
         default=None,
@@ -505,6 +531,7 @@ def _command_script(args: argparse.Namespace, out) -> int:
         domains=AttributeDomains(args.positive),
         matcher=args.matcher,
         policy=args.on_error,
+        workers=args.workers,
     )
     try:
         for result in session.run_script(text):

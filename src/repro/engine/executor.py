@@ -24,6 +24,7 @@ with no limits behaves exactly like the seed executor.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Mapping, Optional, Tuple, Union
@@ -62,6 +63,10 @@ MATCHERS: dict[str, type] = {
 #: Matchers that ignore shift/next and are therefore safe for degraded
 #: plans (restart-based scans).
 _RESTART_MATCHERS = ("naive", "backtracking")
+
+#: Execution modes accepted by ``parallel_mode`` (see
+#: :mod:`repro.engine.parallel`).
+PARALLEL_MODES = ("auto", "process", "thread")
 
 
 @dataclass
@@ -115,6 +120,8 @@ class Executor:
         fallback: Optional[str] = "naive",
         codegen: bool = True,
         plan_cache_size: int = 128,
+        workers: int = 1,
+        parallel_mode: str = "auto",
     ):
         self._catalog = catalog
         self._domains = domains if domains is not None else AttributeDomains.none()
@@ -136,8 +143,21 @@ class Executor:
         self._plan_cache: OrderedDict[
             tuple[str, tuple[str, ...]], _CachedPlan
         ] = OrderedDict()
+        # Cache reads mutate LRU order (move_to_end) and eviction mutates
+        # the dict, so every access is serialized: parallel thread workers
+        # and user threads sharing one executor must not corrupt it.
+        self._plan_cache_lock = threading.Lock()
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        if not isinstance(workers, int) or workers < 1:
+            raise ExecutionError(f"workers must be a positive int, got {workers!r}")
+        if parallel_mode not in PARALLEL_MODES:
+            raise ExecutionError(
+                f"parallel_mode must be one of {PARALLEL_MODES}, "
+                f"got {parallel_mode!r}"
+            )
+        self._workers = workers
+        self._parallel_mode = parallel_mode
 
     def prepare(self, query: Union[str, ast.Query]) -> tuple[AnalyzedQuery, CompiledPattern]:
         """Parse, analyze, and OPS-compile a query without running it."""
@@ -150,11 +170,46 @@ class Executor:
         self,
         query: Union[str, ast.Query],
         instrumentation: Optional[Instrumentation] = None,
+        *,
+        workers: Optional[int] = None,
     ) -> Result:
-        result, _ = self.execute_with_report(query, instrumentation)
+        result, _ = self.execute_with_report(query, instrumentation, workers=workers)
         return result
 
     def execute_with_report(
+        self,
+        query: Union[str, ast.Query],
+        instrumentation: Optional[Instrumentation] = None,
+        *,
+        workers: Optional[int] = None,
+    ) -> tuple[Result, ExecutionReport]:
+        """Execute ``query``, serially or partition-parallel.
+
+        ``workers`` overrides the executor-level worker count for this
+        call.  ``workers=1`` (the default) is exactly the seed's serial
+        path; ``workers>1`` hands the admitted partitions to
+        :func:`repro.engine.parallel.execute_parallel`, whose merge is
+        deterministic and — absent resource limits — byte-identical to
+        serial execution (see ``docs/performance.md``).
+        """
+        effective_workers = self._workers if workers is None else workers
+        if not isinstance(effective_workers, int) or effective_workers < 1:
+            raise ExecutionError(
+                f"workers must be a positive int, got {effective_workers!r}"
+            )
+        if effective_workers > 1:
+            from repro.engine.parallel import execute_parallel
+
+            return execute_parallel(
+                self,
+                query,
+                instrumentation,
+                workers=effective_workers,
+                mode=self._parallel_mode,
+            )
+        return self._execute_serial(query, instrumentation)
+
+    def _execute_serial(
         self,
         query: Union[str, ast.Query],
         instrumentation: Optional[Instrumentation] = None,
@@ -305,13 +360,13 @@ class Executor:
         key = None
         if isinstance(query, str) and self._plan_cache_size > 0:
             key = (query, self._domains.fingerprint())
-            entry = self._plan_cache.get(key)
-            if entry is not None:
-                self._plan_cache.move_to_end(key)
-                self.plan_cache_hits += 1
-                return entry
-        if key is not None:
-            self.plan_cache_misses += 1
+            with self._plan_cache_lock:
+                entry = self._plan_cache.get(key)
+                if entry is not None:
+                    self._plan_cache.move_to_end(key)
+                    self.plan_cache_hits += 1
+                    return entry
+                self.plan_cache_misses += 1
         parsed = parse_query(query) if isinstance(query, str) else query
         analyzed = analyze(parsed, self._domains)
         try:
@@ -328,9 +383,10 @@ class Executor:
                 ),
             )
         if key is not None:
-            self._plan_cache[key] = entry
-            if len(self._plan_cache) > self._plan_cache_size:
-                self._plan_cache.popitem(last=False)
+            with self._plan_cache_lock:
+                self._plan_cache[key] = entry
+                if len(self._plan_cache) > self._plan_cache_size:
+                    self._plan_cache.popitem(last=False)
         return entry
 
     def _plan(
@@ -370,24 +426,10 @@ class Executor:
         Returns the (possibly replaced) matcher so subsequent clusters
         skip the failing attempt instead of re-raising per cluster.
         """
-        aggregate = PatternSearchAggregate(
-            compiled, matcher, instrumentation, budget
+        return search_rows(
+            rows, compiled, matcher_name, matcher, instrumentation,
+            budget, diagnostics, self._policy, self._fallback,
         )
-        try:
-            return apply_aggregate(aggregate, rows), matcher_name, matcher
-        except PlanningError as error:
-            if not self._policy.lenient or self._fallback is None:
-                raise
-            name = self._fallback
-            fallback = MATCHERS[name]()
-            diagnostics.record_downgrade(
-                f"matcher {matcher_name!r} cannot execute this pattern "
-                f"({error}); falling back to {name!r}"
-            )
-            aggregate = PatternSearchAggregate(
-                compiled, fallback, instrumentation, budget
-            )
-            return apply_aggregate(aggregate, rows), name, fallback
 
 
 @dataclass
@@ -536,6 +578,42 @@ def _resolve_matcher(matcher: Union[str, Matcher]) -> tuple[str, Matcher]:
     return type(matcher).__name__, matcher
 
 
+def search_rows(
+    rows: list[dict[str, object]],
+    compiled: CompiledPattern,
+    matcher_name: str,
+    matcher: Matcher,
+    instrumentation: Instrumentation,
+    budget: Optional[Budget],
+    diagnostics: Diagnostics,
+    policy: ErrorPolicy,
+    fallback: Optional[str],
+) -> tuple[list[Match], str, Matcher]:
+    """Search one cluster's rows, degrading the matcher on PlanningError.
+
+    The single source of truth for per-cluster matching: the serial
+    executor loop and every parallel worker
+    (:mod:`repro.engine.parallel`) call this, so the two paths cannot
+    drift apart.  Returns the (possibly replaced by ``fallback``)
+    matcher so callers carry the downgrade forward across clusters.
+    """
+    aggregate = PatternSearchAggregate(compiled, matcher, instrumentation, budget)
+    try:
+        return apply_aggregate(aggregate, rows), matcher_name, matcher
+    except PlanningError as error:
+        if not policy.lenient or fallback is None:
+            raise
+        replacement = MATCHERS[fallback]()
+        diagnostics.record_downgrade(
+            f"matcher {matcher_name!r} cannot execute this pattern "
+            f"({error}); falling back to {fallback!r}"
+        )
+        aggregate = PatternSearchAggregate(
+            compiled, replacement, instrumentation, budget
+        )
+        return apply_aggregate(aggregate, rows), fallback, replacement
+
+
 def _cluster_passes(analyzed: AnalyzedQuery, rows: list[dict[str, object]]) -> bool:
     """Evaluate the hoisted cluster-invariant conditions on this cluster.
 
@@ -574,6 +652,8 @@ def execute(
     limits: Optional[ResourceLimits] = None,
     fallback: Optional[str] = "naive",
     codegen: bool = True,
+    workers: int = 1,
+    parallel_mode: str = "auto",
 ) -> Result:
     """One-shot convenience wrapper around :class:`Executor`."""
     return Executor(
@@ -584,4 +664,6 @@ def execute(
         limits=limits,
         fallback=fallback,
         codegen=codegen,
+        workers=workers,
+        parallel_mode=parallel_mode,
     ).execute(query, instrumentation)

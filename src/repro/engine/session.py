@@ -55,6 +55,8 @@ class Session:
         matcher: Union[str, Matcher] = "ops",
         policy: Union[ErrorPolicy, str] = ErrorPolicy.RAISE,
         limits: Optional[ResourceLimits] = None,
+        workers: int = 1,
+        parallel_mode: str = "auto",
     ):
         self.catalog = catalog if catalog is not None else Catalog()
         self.policy = ErrorPolicy.coerce(policy)
@@ -66,6 +68,8 @@ class Session:
             matcher=matcher,
             policy=self.policy,
             limits=self.limits,
+            workers=workers,
+            parallel_mode=parallel_mode,
         )
 
     def execute(

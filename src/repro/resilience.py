@@ -26,6 +26,7 @@ See ``docs/resilience.md`` for the full contract.
 from __future__ import annotations
 
 import enum
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Union
@@ -146,6 +147,12 @@ class Diagnostics:
 
     A clean run leaves every list empty (``ok`` is True); callers that
     never look at diagnostics observe today's behavior untouched.
+
+    Mutation is internally locked: the parallel engine merges worker
+    outcomes into one shared record, and streaming runners may report
+    from a different thread than the reader, so every recording method
+    (and :meth:`merge`) is atomic.  Reads are lock-free — Python list
+    append/extend are atomic enough for the monitoring views here.
     """
 
     __slots__ = (
@@ -159,9 +166,11 @@ class Diagnostics:
         "checkpoints_restored",
         "duplicates_suppressed",
         "dropped_regions",
+        "_lock",
     )
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self.warnings: list[str] = []
         self.quarantined: list[QuarantinedRow] = []
         self.limits_hit: list[str] = []
@@ -178,54 +187,65 @@ class Diagnostics:
     # -- recording ------------------------------------------------------
 
     def warn(self, message: str) -> None:
-        self.warnings.append(message)
+        with self._lock:
+            self.warnings.append(message)
 
     def quarantine(
         self, source: str, line: int, reason: str, values: tuple = ()
     ) -> None:
-        self.quarantined.append(QuarantinedRow(source, line, reason, values))
+        with self._lock:
+            self.quarantined.append(QuarantinedRow(source, line, reason, values))
 
     def record_limit(self, reason: str) -> None:
-        self.limits_hit.append(reason)
+        with self._lock:
+            self.limits_hit.append(reason)
 
     def record_downgrade(self, message: str) -> None:
-        self.downgrades.append(message)
+        with self._lock:
+            self.downgrades.append(message)
 
     def record_error(self, index: int, snippet: str, error: Exception) -> None:
-        self.errors.append(StatementFailure(index, snippet, error))
+        with self._lock:
+            self.errors.append(StatementFailure(index, snippet, error))
 
     def record_retry(self, reason: str) -> None:
         """One source retry: counted, and surfaced as a warning (a stream
         that needed retries was not a clean run)."""
-        self.retries += 1
-        self.warnings.append(f"retry: {reason}")
+        with self._lock:
+            self.retries += 1
+            self.warnings.append(f"retry: {reason}")
 
     def record_checkpoint_written(self) -> None:
-        self.checkpoints_written += 1
+        with self._lock:
+            self.checkpoints_written += 1
 
     def record_checkpoint_restored(self) -> None:
-        self.checkpoints_restored += 1
+        with self._lock:
+            self.checkpoints_restored += 1
 
     def record_duplicates_suppressed(self, count: int) -> None:
         """Replayed matches withheld to preserve exactly-once emission."""
-        self.duplicates_suppressed += count
+        with self._lock:
+            self.duplicates_suppressed += count
 
     def record_dropped_region(self) -> None:
         """One stream-buffer overflow restart dropped a region of rows."""
-        self.dropped_regions += 1
+        with self._lock:
+            self.dropped_regions += 1
 
     def merge(self, other: "Diagnostics") -> None:
-        """Fold another diagnostics record into this one."""
-        self.warnings.extend(other.warnings)
-        self.quarantined.extend(other.quarantined)
-        self.limits_hit.extend(other.limits_hit)
-        self.errors.extend(other.errors)
-        self.downgrades.extend(other.downgrades)
-        self.retries += other.retries
-        self.checkpoints_written += other.checkpoints_written
-        self.checkpoints_restored += other.checkpoints_restored
-        self.duplicates_suppressed += other.duplicates_suppressed
-        self.dropped_regions += other.dropped_regions
+        """Fold another diagnostics record into this one (atomically)."""
+        with self._lock:
+            self.warnings.extend(other.warnings)
+            self.quarantined.extend(other.quarantined)
+            self.limits_hit.extend(other.limits_hit)
+            self.errors.extend(other.errors)
+            self.downgrades.extend(other.downgrades)
+            self.retries += other.retries
+            self.checkpoints_written += other.checkpoints_written
+            self.checkpoints_restored += other.checkpoints_restored
+            self.duplicates_suppressed += other.duplicates_suppressed
+            self.dropped_regions += other.dropped_regions
 
     # -- inspection -----------------------------------------------------
 
@@ -361,6 +381,12 @@ class Budget:
     tripped: every subsequent check returns True immediately, so nested
     loops unwind without extra bookkeeping, each matcher returning the
     matches it has accumulated so far.
+
+    Charging (``add_rows``, ``add_match``, ``trip``) is internally
+    locked so a budget shared across parallel thread workers cannot
+    check-then-charge past its limits; ``step()`` stays lock-free — its
+    countdown is a heuristic for when to consult the clock, and a rare
+    lost decrement only shifts a deadline check by a few iterations.
     """
 
     __slots__ = (
@@ -373,6 +399,7 @@ class Budget:
         "_deadline",
         "_stride",
         "_countdown",
+        "_lock",
     )
 
     def __init__(
@@ -384,6 +411,7 @@ class Budget:
     ):
         if check_every < 1:
             raise ValueError(f"check_every must be positive, got {check_every}")
+        self._lock = threading.RLock()
         self.limits = limits
         self.diagnostics = diagnostics
         self.rows_scanned = 0
@@ -404,10 +432,11 @@ class Budget:
 
     def trip(self, reason: str) -> bool:
         """Mark the budget exceeded (idempotent); always returns True."""
-        if self.tripped is None:
-            self.tripped = reason
-            if self.diagnostics is not None:
-                self.diagnostics.record_limit(reason)
+        with self._lock:
+            if self.tripped is None:
+                self.tripped = reason
+                if self.diagnostics is not None:
+                    self.diagnostics.record_limit(reason)
         return True
 
     def step(self, steps: int = 1) -> bool:
@@ -437,15 +466,18 @@ class Budget:
         Check-then-charge: a batch that would push the total past the
         limit trips the budget and is *not* charged, because the caller
         skips it — so ``rows_scanned`` always equals the rows actually
-        scanned and agrees with the executor's report accounting.
+        scanned and agrees with the executor's report accounting.  The
+        check and the charge happen under one lock, so concurrent
+        callers splitting a shared budget can never jointly over-admit.
         """
-        if self.tripped is not None:
-            return True
-        maximum = self.limits.max_rows_scanned
-        if maximum is not None and self.rows_scanned + count > maximum:
-            return self.trip(f"max_rows_scanned ({maximum}) exceeded")
-        self.rows_scanned += count
-        return False
+        with self._lock:
+            if self.tripped is not None:
+                return True
+            maximum = self.limits.max_rows_scanned
+            if maximum is not None and self.rows_scanned + count > maximum:
+                return self.trip(f"max_rows_scanned ({maximum}) exceeded")
+            self.rows_scanned += count
+            return False
 
     def add_match(self) -> bool:
         """Account for one recorded match; True when the cap is reached.
@@ -453,13 +485,14 @@ class Budget:
         The match that reaches the cap is *kept* — ``max_matches=N``
         yields exactly N matches, then stops.
         """
-        if self.tripped is not None:
-            return True
-        self.matches += 1
-        maximum = self.limits.max_matches
-        if maximum is not None and self.matches >= maximum:
-            return self.trip(f"max_matches ({maximum}) reached")
-        return False
+        with self._lock:
+            if self.tripped is not None:
+                return True
+            self.matches += 1
+            maximum = self.limits.max_matches
+            if maximum is not None and self.matches >= maximum:
+                return self.trip(f"max_matches ({maximum}) reached")
+            return False
 
     def __repr__(self) -> str:
         state = f"tripped={self.tripped!r}" if self.tripped else "ok"

@@ -439,3 +439,60 @@ class TestDiagnosticsJson:
 
         payload = json.loads(report.read_text())
         assert payload["counters"]["quarantined_rows"] == 1
+
+
+class TestWorkers:
+    def test_workers_output_identical_to_serial(self, quotes_csv):
+        argv = [
+            "query",
+            "--table",
+            f"quote={quotes_csv}:name:str,date:date,price:float",
+            "--positive",
+            "price",
+            "--stats",
+            QUERY,
+        ]
+        serial_code, serial_out = run_cli(*argv)
+        parallel_code, parallel_out = run_cli(*argv, "--workers", "2")
+        assert (serial_code, serial_out) == (parallel_code, parallel_out)
+
+    def test_workers_process_mode(self, quotes_csv):
+        argv = [
+            "query",
+            "--table",
+            f"quote={quotes_csv}:name:str,date:date,price:float",
+            "--positive",
+            "price",
+            QUERY,
+        ]
+        _, serial_out = run_cli(*argv)
+        code, parallel_out = run_cli(
+            *argv, "--workers", "2", "--parallel-mode", "process"
+        )
+        assert code == 0 and parallel_out == serial_out
+
+    def test_invalid_workers_is_clean_error(self, quotes_csv, capsys):
+        code, _ = run_cli(
+            "query",
+            "--table",
+            f"quote={quotes_csv}:name:str,date:date,price:float",
+            "--workers",
+            "0",
+            QUERY,
+        )
+        assert code == 1
+        assert "workers" in capsys.readouterr().err
+
+    def test_script_workers(self, tmp_path):
+        script = tmp_path / "session.sql"
+        script.write_text(
+            "CREATE TABLE q ( name Varchar(8), date Int, price Real );\n"
+            "INSERT INTO q VALUES ('IBM', 1, 100.0), ('IBM', 2, 120.0), "
+            "('ACME', 1, 50.0), ('ACME', 2, 70.0);\n"
+            "SELECT X.name FROM q CLUSTER BY name SEQUENCE BY date "
+            "AS (X, Y) WHERE Y.price > 1.1 * X.price;"
+        )
+        serial = run_cli("script", str(script))
+        parallel = run_cli("script", str(script), "--workers", "2")
+        assert serial == parallel
+        assert serial[0] == 0 and "(2 rows)" in serial[1]
