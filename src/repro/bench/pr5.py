@@ -158,6 +158,14 @@ def run_bench(profile: str = "full") -> dict:
         "bench": "pr5-parallel-partitions",
         "profile": profile,
         "cpu_count": os.cpu_count(),
+        "scaling_note": (
+            "recorded on a single-core host: speedup columns are "
+            "physically capped at ~1x and are not evidence about the "
+            "engine; CI re-measures scaling on a multi-core runner "
+            "with --require-scaling"
+            if (os.cpu_count() or 1) <= 1
+            else None
+        ),
         "workloads": workloads,
         "headline": {
             "workload": "djia_panel",
@@ -196,6 +204,37 @@ def check_against_baseline(current: dict, baseline: dict) -> list[str]:
     return failures
 
 
+def check_scaling(current: dict, min_speedup: float = 1.05) -> list[str]:
+    """Enforce that parallelism actually pays on multi-core hardware.
+
+    The committed baseline was once recorded on a single-core container
+    where a ~1x "speedup" is the honest physical ceiling, not a bug —
+    but silently passing ``--check`` there hides real scaling
+    regressions on real hardware.  This gate makes the asymmetry
+    explicit: on a multi-core host the best panel speedup must clear
+    ``min_speedup``; on a single core the check is SKIPPED with a loud
+    annotation instead of vacuously passing.
+    """
+    cpu = current.get("cpu_count") or 1
+    if cpu <= 1:
+        print(
+            "SCALING CHECK SKIPPED: os.cpu_count() <= 1 — wall-clock "
+            "speedup cannot materialize on a single core. Match parity "
+            "was still enforced; run on a multi-core host (the CI "
+            "runner does) to enforce scaling."
+        )
+        return []
+    headline = current["workloads"]["djia_panel"]
+    best = max(run["speedup"] for run in headline["workers"].values())
+    if best < min_speedup:
+        return [
+            f"djia_panel: best parallel speedup {best:.2f}x is below the "
+            f"{min_speedup:.2f}x floor on a {cpu}-core host"
+        ]
+    print(f"scaling check passed: best panel speedup {best:.2f}x on {cpu} cores")
+    return []
+
+
 def check_against_pr3(current: dict, pr3_path: Path) -> list[str]:
     """Cross-check Example 10 against the serial BENCH_pr3 DJIA baseline.
 
@@ -231,10 +270,22 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--output", type=Path, default=DEFAULT_OUTPUT,
         help="baseline JSON path (written without --check, read with it)",
     )
+    parser.add_argument(
+        "--require-scaling", action="store_true",
+        help="with --check: fail unless parallel execution beats serial "
+        "on this host (skipped with a loud annotation when "
+        "os.cpu_count() <= 1, where no speedup is physically possible)",
+    )
     args = parser.parse_args(argv)
 
     current = run_bench(args.profile)
     print(f"cpu_count={current['cpu_count']}")
+    if (current.get("cpu_count") or 1) <= 1:
+        print(
+            "NOTE: single-core host — the speedup columns below are "
+            "physically capped at ~1x and say nothing about the engine; "
+            "see --require-scaling"
+        )
     for workload, recorded in current["workloads"].items():
         scaling = " ".join(
             f"w{workers}={run['speedup']:.2f}x"
@@ -255,6 +306,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         failures += check_against_pr3(
             current, args.output.parent / "BENCH_pr3.json"
         )
+        if args.require_scaling:
+            failures += check_scaling(current)
         if failures:
             for failure in failures:
                 print(f"REGRESSION: {failure}")

@@ -1,0 +1,339 @@
+"""Latency and fairness benchmark for the always-on query service.
+
+Drives a live :class:`~repro.serve.server.QueryServer` with N concurrent
+client connections (each its own socket and thread) issuing the paper's
+DJIA queries, and records:
+
+- **p50/p99/mean/max request latency** under concurrency — the number
+  the service exists to bound;
+- **byte-identical correctness under load**: every concurrent response
+  is compared against the same query's serial
+  :meth:`~repro.engine.executor.Executor.execute` wire rendering — any
+  deviation is a hard failure, not a statistic;
+- **plan-cache effectiveness**: all clients share one executor, so a
+  well-behaved server plans each distinct query text once;
+- **admission fairness**: a deliberately under-provisioned tenant
+  hammers the server alongside the measured fleet; its requests must be
+  rejected with structured ``quota_exhausted``/``backpressure`` errors
+  carrying ``retry_after`` hints while the measured tenants' results
+  stay byte-identical — degradation, not collapse.
+
+Latency numbers are hardware-dependent and only reported; the ``--check``
+gate enforces the structural claims (byte-identity, zero unexpected
+errors, throttled tenant rejected-but-answered, every rejection carrying
+``retry_after``).
+
+``python -m repro.bench.serve``                    regenerate BENCH_serve.json
+``python -m repro.bench.serve --check --profile smoke``   CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.data.djia import djia_table
+from repro.data.quotes import quote_table
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Executor
+from repro.pattern.predicates import AttributeDomains
+from repro.resilience import ResourceLimits
+from repro.serve import QueryServer, ServeClient, ServerThread, TenantQuota
+from repro.serve.client import ServeError
+from repro.serve.protocol import encode_frame
+
+#: Default artefact location: the repository root.
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[3] / "BENCH_serve.json"
+
+#: The request mix: the paper's workloads over the two demo tables.
+QUERIES = {
+    "example_10_djia": (
+        "SELECT X.NEXT.date FROM djia SEQUENCE BY date AS (X, *Y, S) "
+        "WHERE Y.price < 0.98 * Y.previous.price "
+        "AND S.price > S.previous.price"
+    ),
+    "rising_pair_djia": (
+        "SELECT X.date FROM djia SEQUENCE BY date AS (X, Y) "
+        "WHERE Y.price > X.price"
+    ),
+    "cluster_scan_quote": (
+        "SELECT X.name, X.date FROM quote CLUSTER BY name SEQUENCE BY date "
+        "AS (X, Y, Z) WHERE Y.price > 1.15 * X.price "
+        "AND Z.price < 0.8 * Y.price"
+    ),
+}
+
+#: The under-provisioned tenant's row budget: one small query drains it.
+THROTTLED_ROWS_PER_SECOND = 10.0
+
+
+def _catalog() -> Catalog:
+    return Catalog([djia_table(), quote_table()])
+
+
+def _expected_wire_rows(catalog: Catalog) -> dict[str, list]:
+    """Serial reference results, rendered exactly as the server renders
+    them (one JSON encode/decode round trip)."""
+    executor = Executor(catalog, domains=AttributeDomains.prices())
+    expected = {}
+    for name, sql in QUERIES.items():
+        result = executor.execute(sql)
+        frame = encode_frame({"rows": [list(row) for row in result.rows]})
+        expected[name] = json.loads(frame)["rows"]
+    return expected
+
+
+class _ClientWorker(threading.Thread):
+    """One benchmark client: its own connection, its own latency log."""
+
+    def __init__(self, host, port, tenant, plan, expected):
+        super().__init__(name=f"bench-client-{tenant}", daemon=True)
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.plan = plan  # list of query names to issue, in order
+        self.expected = expected
+        self.latencies: list[float] = []
+        self.mismatches: list[str] = []
+        self.errors: list[str] = []
+
+    def run(self) -> None:
+        try:
+            with ServeClient(
+                self.host, self.port, tenant=self.tenant
+            ) as client:
+                for name in self.plan:
+                    started = time.perf_counter()
+                    try:
+                        reply = client.query(QUERIES[name])
+                    except ServeError as error:
+                        self.errors.append(f"{name}: [{error.code}]")
+                        continue
+                    self.latencies.append(time.perf_counter() - started)
+                    if reply.rows != self.expected[name]:
+                        self.mismatches.append(
+                            f"{name}: {len(reply.rows)} rows != serial "
+                            f"{len(self.expected[name])}"
+                        )
+        except Exception as error:  # noqa: BLE001 - recorded, not raised
+            self.errors.append(f"connection: {type(error).__name__}: {error}")
+
+
+def _throttled_probe(host, port, attempts: int) -> dict:
+    """Hammer the under-provisioned tenant; collect its rejections."""
+    outcomes = {"ok": 0, "rejected": 0, "other_error": 0}
+    rejection_codes: dict[str, int] = {}
+    missing_retry_after = 0
+    with ServeClient(host, port, tenant="throttled") as client:
+        for _ in range(attempts):
+            try:
+                client.query(QUERIES["rising_pair_djia"])
+                outcomes["ok"] += 1
+            except ServeError as error:
+                if error.retryable:
+                    outcomes["rejected"] += 1
+                    rejection_codes[error.code] = (
+                        rejection_codes.get(error.code, 0) + 1
+                    )
+                    if error.retry_after is None:
+                        missing_retry_after += 1
+                else:
+                    outcomes["other_error"] += 1
+    return {
+        "attempts": attempts,
+        "outcomes": outcomes,
+        "rejection_codes": rejection_codes,
+        "missing_retry_after": missing_retry_after,
+    }
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def run_bench(profile: str = "full") -> dict:
+    clients = 16 if profile == "smoke" else 32
+    requests_per_client = 3 if profile == "smoke" else 8
+    catalog = _catalog()
+    expected = _expected_wire_rows(catalog)
+
+    server = QueryServer(
+        catalog,
+        domains=AttributeDomains.prices(),
+        default_quota=TenantQuota(max_concurrent=4, max_queued=64),
+        quotas={
+            "throttled": TenantQuota(
+                limits=ResourceLimits(),
+                max_concurrent=2,
+                max_queued=2,
+                rows_per_second=THROTTLED_ROWS_PER_SECOND,
+            )
+        },
+        pool_workers=4,
+        max_pending=4 * (clients + 1),
+    )
+    names = list(QUERIES)
+    with ServerThread(server) as handle:
+        host, port = handle.address
+        workers = []
+        for index in range(clients):
+            # Deterministic round-robin mix, phase-shifted per client so
+            # every query name is in flight concurrently.
+            plan = [
+                names[(index + step) % len(names)]
+                for step in range(requests_per_client)
+            ]
+            workers.append(
+                _ClientWorker(
+                    host, port, f"tenant{index % 4}", plan, expected
+                )
+            )
+        started = time.perf_counter()
+        for worker in workers:
+            worker.start()
+        throttled = _throttled_probe(host, port, attempts=8)
+        for worker in workers:
+            worker.join(timeout=120.0)
+        wall_s = time.perf_counter() - started
+
+        with ServeClient(host, port, tenant="bench-admin") as admin:
+            stats = admin.stats()
+
+    latencies = [lat for worker in workers for lat in worker.latencies]
+    mismatches = [m for worker in workers for m in worker.mismatches]
+    errors = [e for worker in workers for e in worker.errors]
+    completed = len(latencies)
+    return {
+        "bench": "serve-latency",
+        "profile": profile,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "completed_requests": completed,
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(completed / wall_s, 2) if wall_s else None,
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50) * 1000.0, 3),
+            "p99": round(_percentile(latencies, 0.99) * 1000.0, 3),
+            "mean": round(statistics.fmean(latencies) * 1000.0, 3),
+            "max": round(max(latencies) * 1000.0, 3),
+        }
+        if latencies
+        else None,
+        "byte_identical": not mismatches,
+        "mismatches": mismatches,
+        "unexpected_errors": errors,
+        "plan_cache": stats["plan_cache"],
+        "distinct_queries": len(QUERIES),
+        "throttled_tenant": throttled,
+        "expected_rows": {
+            name: len(rows) for name, rows in expected.items()
+        },
+    }
+
+
+def check_run(current: dict) -> list[str]:
+    """Structural assertions of the CI gate; empty list means pass."""
+    failures: list[str] = []
+    if not current["byte_identical"]:
+        failures.append(
+            "concurrent responses deviated from serial execution: "
+            + "; ".join(current["mismatches"][:5])
+        )
+    if current["unexpected_errors"]:
+        failures.append(
+            "measured tenants saw errors: "
+            + "; ".join(current["unexpected_errors"][:5])
+        )
+    wanted = current["clients"] * current["requests_per_client"]
+    if current["completed_requests"] != wanted:
+        failures.append(
+            f"only {current['completed_requests']}/{wanted} requests completed"
+        )
+    throttled = current["throttled_tenant"]
+    if throttled["outcomes"]["rejected"] < 1:
+        failures.append(
+            "the under-provisioned tenant was never rejected — admission "
+            "control is not engaging"
+        )
+    if throttled["missing_retry_after"]:
+        failures.append(
+            f"{throttled['missing_retry_after']} rejections arrived "
+            f"without a retry_after hint"
+        )
+    if throttled["outcomes"]["other_error"]:
+        failures.append(
+            f"throttled tenant saw {throttled['outcomes']['other_error']} "
+            f"non-structured errors"
+        )
+    # Shared plan cache: each distinct query text is planned at most a
+    # handful of times (first arrivals may race the cache fill), never
+    # once per request.
+    misses = current["plan_cache"]["misses"]
+    ceiling = current["distinct_queries"] * 4
+    if misses > ceiling:
+        failures.append(
+            f"plan cache missed {misses} times for "
+            f"{current['distinct_queries']} distinct queries — the cache "
+            f"is not shared across connections"
+        )
+    return failures
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--profile", choices=["full", "smoke"], default="full",
+        help="smoke shrinks the fleet to 16 clients x 3 requests for CI",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="enforce the structural assertions (byte-identity, "
+        "structured rejections, shared plan cache) without rewriting "
+        "the baseline",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help="artefact JSON path (written without --check)",
+    )
+    args = parser.parse_args(argv)
+
+    current = run_bench(args.profile)
+    latency = current["latency_ms"] or {}
+    print(
+        f"{current['clients']} clients x "
+        f"{current['requests_per_client']} requests: "
+        f"p50={latency.get('p50')}ms p99={latency.get('p99')}ms "
+        f"throughput={current['throughput_rps']}rps "
+        f"byte_identical={current['byte_identical']}"
+    )
+    throttled = current["throttled_tenant"]["outcomes"]
+    print(
+        f"throttled tenant: {throttled['ok']} ok, "
+        f"{throttled['rejected']} structured rejections, "
+        f"{throttled['other_error']} other errors"
+    )
+    print(f"plan cache: {current['plan_cache']}")
+
+    failures = check_run(current)
+    if failures:
+        for failure in failures:
+            print(f"FAILURE: {failure}")
+        return 1
+    if args.check:
+        print("serve bench check passed (latency above is informational)")
+        return 0
+    args.output.write_text(json.dumps(current, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,7 +28,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
+import time
 from typing import Optional, Sequence
 
 from repro.bench.harness import NAMED_MATCHERS
@@ -39,10 +42,37 @@ from repro.engine.table import Schema
 from repro.errors import ExecutionError, ReproError
 from repro.match.base import Instrumentation
 from repro.pattern.predicates import AttributeDomains
-from repro.resilience import Diagnostics, ErrorPolicy, ResourceLimits
+from repro.resilience import CancelToken, Diagnostics, ErrorPolicy, ResourceLimits
 
 #: Exit code when a resource limit cut the query short (results partial).
 EXIT_LIMIT_HIT = 3
+
+
+def _cancel_on_signals(token: CancelToken) -> dict:
+    """Route SIGINT/SIGTERM into cooperative cancellation.
+
+    Instead of dying mid-query, a signalled ``query`` returns its
+    partial results (exit code {EXIT_LIMIT_HIT}) and a signalled
+    ``stream`` writes a final checkpoint before exiting — the run is
+    resumable with ``--resume``.  Returns the previous handlers for
+    :func:`_restore_signals`; outside the main thread (embedded use)
+    handlers cannot be installed and the dict is empty.
+    """
+    def handler(signum, frame):
+        token.cancel(f"received {signal.Signals(signum).name}")
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, handler)
+        except ValueError:
+            break
+    return previous
+
+
+def _restore_signals(previous: dict) -> None:
+    for sig, old in previous.items():
+        signal.signal(sig, old)
 
 
 def _parse_table_spec(spec: str) -> tuple[str, str, Schema]:
@@ -152,11 +182,17 @@ def _command_query(args: argparse.Namespace, out) -> int:
         parallel_mode=args.parallel_mode,
     )
     instrumentation = Instrumentation()
+    token = CancelToken()
+    previous = _cancel_on_signals(token)
     try:
-        result, report = executor.execute_with_report(args.sql, instrumentation)
+        result, report = executor.execute_with_report(
+            args.sql, instrumentation, cancel=token
+        )
     except ReproError:
         _write_diagnostics_json(args, diagnostics)
         raise
+    finally:
+        _restore_signals(previous)
     diagnostics.merge(report.diagnostics)
     _write_diagnostics_json(args, diagnostics)
     print(result.pretty(max_rows=args.max_rows), file=out)
@@ -251,6 +287,8 @@ def _command_stream(args: argparse.Namespace, out) -> int:
     )
     retry = RetryPolicy(max_retries=args.retry, backoff=args.backoff)
     count = 0
+    token = CancelToken()
+    previous = _cancel_on_signals(token)
     try:
         streaming = executor.stream(
             args.sql,
@@ -261,12 +299,16 @@ def _command_stream(args: argparse.Namespace, out) -> int:
             resume=args.resume,
             overflow=args.overflow,
             diagnostics=diagnostics,
+            stop=token,
         )
         print(",".join(streaming.columns), file=out)
         for row in streaming.rows:
-            print(",".join(_render(value) for value in row), file=out)
+            print(",".join(_render(value) for value in row), file=out, flush=True)
             count += 1
+            if args.throttle:
+                time.sleep(args.throttle)
     finally:
+        _restore_signals(previous)
         _write_diagnostics_json(args, diagnostics)
     print(f"({count} rows)", file=out)
     if not diagnostics.ok:
@@ -469,6 +511,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="write Diagnostics counters (retries, checkpoints "
         "written/restored, suppressed duplicates) as JSON to PATH",
     )
+    stream.add_argument(
+        "--throttle",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="sleep SECONDS after each emitted row (pacing for demos "
+        "and interruption tests)",
+    )
     stream.set_defaults(func=_command_stream)
 
     explain = subparsers.add_parser(
@@ -476,6 +526,174 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_arguments(explain)
     explain.set_defaults(func=_command_explain)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the always-on query service over the registered tables "
+        "(per-tenant admission control, backpressure, graceful drain)",
+    )
+    serve.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        type=_parse_table_spec,
+        metavar="NAME=PATH:COL:TYPE,...",
+        help="register a CSV file as a served table (repeatable)",
+    )
+    serve.add_argument(
+        "--demo-data",
+        action="store_true",
+        help="serve the built-in synthetic djia and quote tables",
+    )
+    serve.add_argument(
+        "--positive",
+        action="append",
+        default=[],
+        metavar="ATTR",
+        help="declare an attribute positive (enables the ratio rewrite)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: pick an ephemeral port, printed on start)",
+    )
+    serve.add_argument(
+        "--pool-workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="query worker threads (default 4)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="partition-parallel workers per query (default 1: serial)",
+    )
+    serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=4,
+        metavar="N",
+        help="default per-tenant concurrent-query cap (default 4)",
+    )
+    serve.add_argument(
+        "--max-queued",
+        type=int,
+        default=16,
+        metavar="N",
+        help="default per-tenant queued-request cap beyond the "
+        "concurrency cap (default 16)",
+    )
+    serve.add_argument(
+        "--rows-per-second",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="default per-tenant scanned-row budget (token bucket); "
+        "exhausted tenants are rejected with a retry_after hint",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-query wall-clock deadline applied to every tenant",
+    )
+    serve.add_argument(
+        "--max-matches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="default per-query match cap applied to every tenant",
+    )
+    serve.add_argument(
+        "--quota-json",
+        metavar="PATH",
+        default=None,
+        help="JSON file of per-tenant quota overrides: "
+        '{"tenant": {"max_concurrent": 2, "rows_per_second": 1000, '
+        '"timeout": 5, "max_matches": 100, "max_rows_scanned": 50000, '
+        '"max_queued": 8}}',
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for per-subscription checkpoints (enables "
+        "exactly-once resumable subscriptions)",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="on shutdown, let in-flight queries finish for SECONDS "
+        "before cancelling them (default 5)",
+    )
+    serve.add_argument(
+        "--allow-remote-shutdown",
+        action="store_true",
+        help="let clients trigger a drain via the shutdown op",
+    )
+    serve.add_argument(
+        "--on-error",
+        choices=[policy.value for policy in ErrorPolicy],
+        default="raise",
+        help="error policy for CSV loading and query execution",
+    )
+    serve.set_defaults(func=_command_serve)
+
+    call = subparsers.add_parser(
+        "call", help="send one query to a running repro serve instance"
+    )
+    call.add_argument("sql", help="the SQL-TS query text")
+    call.add_argument("--host", default="127.0.0.1")
+    call.add_argument("--port", type=int, required=True)
+    call.add_argument("--tenant", default="default")
+    call.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline (tightens the tenant quota)",
+    )
+    call.add_argument(
+        "--max-matches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-request match cap (tightens the tenant quota)",
+    )
+    call.set_defaults(func=_command_call)
+
+    subscribe = subparsers.add_parser(
+        "subscribe",
+        help="stream a query's matches from a running repro serve "
+        "instance (exactly-once with --after-seq)",
+    )
+    subscribe.add_argument("sql", help="the SQL-TS query text")
+    subscribe.add_argument("--host", default="127.0.0.1")
+    subscribe.add_argument("--port", type=int, required=True)
+    subscribe.add_argument("--tenant", default="default")
+    subscribe.add_argument(
+        "--subscription",
+        required=True,
+        metavar="ID",
+        help="durable subscription id (names the server-side checkpoint)",
+    )
+    subscribe.add_argument(
+        "--after-seq",
+        type=int,
+        default=-1,
+        metavar="SEQ",
+        help="exactly-once high-water mark: suppress matches with "
+        "seq <= SEQ (pass the last seq you received)",
+    )
+    subscribe.set_defaults(func=_command_subscribe)
 
     script = subparsers.add_parser(
         "script",
@@ -543,6 +761,151 @@ def _command_script(args: argparse.Namespace, out) -> int:
     if not session.diagnostics.ok:
         print(session.diagnostics.summary(), file=sys.stderr)
     return EXIT_LIMIT_HIT if session.diagnostics.limit_hit else 0
+
+
+def _quotas_from_json(path: str, args: argparse.Namespace) -> dict:
+    from repro.serve import TenantQuota
+
+    with open(path) as handle:
+        specs = json.load(handle)
+    if not isinstance(specs, dict):
+        raise ExecutionError(
+            f"--quota-json must hold an object of tenant -> quota, "
+            f"got {type(specs).__name__}"
+        )
+    quotas = {}
+    for tenant, spec in specs.items():
+        try:
+            limits = ResourceLimits(
+                max_matches=spec.get("max_matches", args.max_matches),
+                max_rows_scanned=spec.get("max_rows_scanned"),
+                wall_clock_deadline=spec.get("timeout", args.timeout),
+            )
+            quotas[tenant] = TenantQuota(
+                limits=limits,
+                max_concurrent=spec.get("max_concurrent", args.max_concurrent),
+                max_queued=spec.get("max_queued", args.max_queued),
+                rows_per_second=spec.get(
+                    "rows_per_second", args.rows_per_second
+                ),
+            )
+        except (ValueError, AttributeError, TypeError) as error:
+            raise ExecutionError(
+                f"bad quota for tenant {tenant!r}: {error}"
+            ) from None
+    return quotas
+
+
+def _command_serve(args: argparse.Namespace, out) -> int:
+    from repro.serve import QueryServer, ServerThread, TenantQuota
+
+    diagnostics = Diagnostics()
+    catalog = _build_catalog(args, diagnostics)
+    if len(catalog) == 0:
+        raise ExecutionError(
+            "nothing to serve: pass --table specs and/or --demo-data"
+        )
+    default_quota = TenantQuota(
+        limits=ResourceLimits(
+            max_matches=args.max_matches, wall_clock_deadline=args.timeout
+        ),
+        max_concurrent=args.max_concurrent,
+        max_queued=args.max_queued,
+        rows_per_second=args.rows_per_second,
+    )
+    quotas = _quotas_from_json(args.quota_json, args) if args.quota_json else {}
+    server = QueryServer(
+        catalog,
+        domains=AttributeDomains(args.positive),
+        policy=args.on_error,
+        quotas=quotas,
+        default_quota=default_quota,
+        pool_workers=args.pool_workers,
+        query_workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+        drain_grace=args.drain_grace,
+        host=args.host,
+        port=args.port,
+        allow_remote_shutdown=args.allow_remote_shutdown,
+    )
+    stop = threading.Event()
+    previous = {}
+
+    def handler(signum, frame):
+        stop.set()
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, handler)
+        except ValueError:
+            break
+    handle = ServerThread(server).start()
+    try:
+        host, port = handle.address
+        tables = ", ".join(sorted(table.name for table in catalog))
+        print(f"serving {tables} on {host}:{port}", file=out, flush=True)
+        while not stop.wait(0.2):
+            if server.draining:  # remote shutdown request
+                break
+        print("draining...", file=out, flush=True)
+    finally:
+        _restore_signals(previous)
+        handle.stop(grace=args.drain_grace)
+    print("stopped", file=out, flush=True)
+    return 0
+
+
+def _command_call(args: argparse.Namespace, out) -> int:
+    from repro.serve import ServeClient
+    from repro.serve.client import ServeError
+
+    with ServeClient(args.host, args.port, tenant=args.tenant) as client:
+        try:
+            reply = client.query(
+                args.sql, timeout=args.timeout, max_matches=args.max_matches
+            )
+        except ServeError as error:
+            print(f"error: {error}", file=sys.stderr)
+            if error.retry_after is not None:
+                print(
+                    f"retry after {error.retry_after}s", file=sys.stderr
+                )
+            return 1
+    print(",".join(reply.columns), file=out)
+    for row in reply.rows:
+        print(",".join(_render(value) for value in row), file=out)
+    print(f"({len(reply.rows)} rows)", file=out)
+    if reply.limits_hit:
+        for reason in reply.limits_hit:
+            print(f"limit: {reason}", file=sys.stderr)
+    return EXIT_LIMIT_HIT if reply.limit_hit else 0
+
+
+def _command_subscribe(args: argparse.Namespace, out) -> int:
+    from repro.serve import ServeClient
+    from repro.serve.client import ServeError
+
+    with ServeClient(args.host, args.port, tenant=args.tenant) as client:
+        try:
+            rows = client.subscribe(
+                args.sql,
+                args.subscription,
+                after_seq=args.after_seq,
+                on_begin=lambda begin: print(
+                    "seq," + ",".join(begin["columns"]), file=out, flush=True
+                ),
+            )
+            count = 0
+            for row in rows:
+                rendered = ",".join(_render(value) for value in row.values)
+                print(f"{row.seq},{rendered}", file=out, flush=True)
+                count += 1
+        except ServeError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    end = client.last_end or {}
+    print(f"({count} rows, last_seq={end.get('last_seq')})", file=out)
+    return EXIT_LIMIT_HIT if end.get("limit_hit") else 0
 
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:

@@ -172,8 +172,12 @@ class Executor:
         instrumentation: Optional[Instrumentation] = None,
         *,
         workers: Optional[int] = None,
+        limits: Optional[ResourceLimits] = None,
+        cancel: Optional[Callable[[], Optional[str]]] = None,
     ) -> Result:
-        result, _ = self.execute_with_report(query, instrumentation, workers=workers)
+        result, _ = self.execute_with_report(
+            query, instrumentation, workers=workers, limits=limits, cancel=cancel
+        )
         return result
 
     def execute_with_report(
@@ -182,6 +186,8 @@ class Executor:
         instrumentation: Optional[Instrumentation] = None,
         *,
         workers: Optional[int] = None,
+        limits: Optional[ResourceLimits] = None,
+        cancel: Optional[Callable[[], Optional[str]]] = None,
     ) -> tuple[Result, ExecutionReport]:
         """Execute ``query``, serially or partition-parallel.
 
@@ -191,6 +197,15 @@ class Executor:
         :func:`repro.engine.parallel.execute_parallel`, whose merge is
         deterministic and — absent resource limits — byte-identical to
         serial execution (see ``docs/performance.md``).
+
+        ``limits`` overrides the executor-level :class:`ResourceLimits`
+        for this call only — the serving layer uses it to apply
+        per-tenant and per-request deadlines over one shared executor
+        (and its shared plan cache).  ``cancel`` is a cooperative
+        cancellation hook (see :class:`~repro.resilience.CancelToken`):
+        called periodically from the budget checks; returning a reason
+        string trips the budget and the query returns partial results
+        with a limit diagnostic.
         """
         effective_workers = self._workers if workers is None else workers
         if not isinstance(effective_workers, int) or effective_workers < 1:
@@ -206,19 +221,27 @@ class Executor:
                 instrumentation,
                 workers=effective_workers,
                 mode=self._parallel_mode,
+                limits=limits,
+                cancel=cancel,
             )
-        return self._execute_serial(query, instrumentation)
+        return self._execute_serial(query, instrumentation, limits=limits, cancel=cancel)
 
     def _execute_serial(
         self,
         query: Union[str, ast.Query],
         instrumentation: Optional[Instrumentation] = None,
+        *,
+        limits: Optional[ResourceLimits] = None,
+        cancel: Optional[Callable[[], Optional[str]]] = None,
     ) -> tuple[Result, ExecutionReport]:
         diagnostics = Diagnostics()
         analyzed, compiled, matcher_name, matcher = self._plan(query, diagnostics)
         instrumentation = instrumentation or Instrumentation()
+        effective_limits = limits if limits is not None else self._limits
         budget = (
-            Budget(self._limits, diagnostics) if self._limits.bounded else None
+            Budget(effective_limits, diagnostics, cancel=cancel)
+            if effective_limits.bounded or cancel is not None
+            else None
         )
         table = self._catalog.table(analyzed.table)
         columns = [
@@ -279,6 +302,7 @@ class Executor:
         overflow: str = "raise",
         instrumentation: Optional[Instrumentation] = None,
         diagnostics: Optional[Diagnostics] = None,
+        stop: Optional[Callable[[], Optional[str]]] = None,
     ) -> "StreamingQuery":
         """Plan a query for crash-recoverable streaming execution.
 
@@ -332,6 +356,7 @@ class Executor:
             extra_lookback=back,
             instrumentation=instrumentation,
             diagnostics=diagnostics,
+            stop=stop,
         )
         columns = [
             item.output_name(position)
@@ -340,7 +365,7 @@ class Executor:
         return StreamingQuery(
             columns=columns,
             runner=runner,
-            rows=_stream_rows(runner, analyzed, resume),
+            keyed_rows=_stream_rows(runner, analyzed, resume),
         )
 
     # ------------------------------------------------------------------
@@ -437,13 +462,23 @@ class StreamingQuery:
     """A planned streaming execution: iterate ``rows`` to drive it.
 
     ``rows`` yields one projected SELECT tuple per match, in emission
-    order.  ``runner`` exposes the live matcher, the current source
-    offset, and the shared diagnostics for monitoring mid-stream.
+    order.  ``keyed_rows`` is the same stream with each tuple preceded
+    by its *sequence number* — the match's absolute end position in the
+    stream, stable across checkpoint/resume cycles — which is how the
+    serving layer delivers exactly-once to reconnecting subscribers
+    (suppress everything at or below the subscriber's high-water mark).
+    The two views share one underlying iterator: consume one of them.
+    ``runner`` exposes the live matcher, the current source offset, and
+    the shared diagnostics for monitoring mid-stream.
     """
 
     columns: list[str]
     runner: RecoveringStreamRunner
-    rows: Iterator[tuple]
+    keyed_rows: Iterator[tuple[int, tuple]]
+
+    @property
+    def rows(self) -> Iterator[tuple]:
+        return (values for _, values in self.keyed_rows)
 
     @property
     def diagnostics(self) -> Diagnostics:
@@ -530,8 +565,14 @@ def _ordered_source(source_factory, sequence_by: tuple[str, ...]):
 
 def _stream_rows(
     runner: RecoveringStreamRunner, analyzed: AnalyzedQuery, resume: bool
-) -> Iterator[tuple]:
-    """Project each emitted match against the matcher's live window."""
+) -> Iterator[tuple[int, tuple]]:
+    """Project each emitted match against the matcher's live window.
+
+    Yields ``(seq, values)`` where ``seq`` is the match's absolute end
+    position in the stream — the same coordinate the recovery runner's
+    exactly-once high-water mark uses, so it is stable across
+    crash/resume and strictly increasing within one subscription.
+    """
     warned_trimmed = False
     for _, match in runner.run(resume=resume):
         window = runner.matcher.window
@@ -557,7 +598,7 @@ def _stream_rows(
                         "SELECT read a trimmed window position (dropped "
                         "by a stream-buffer restart); emitting NULL"
                     )
-        yield tuple(values)
+        yield match.end, tuple(values)
 
 
 def _resolve_matcher(matcher: Union[str, Matcher]) -> tuple[str, Matcher]:

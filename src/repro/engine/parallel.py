@@ -458,12 +458,20 @@ def execute_parallel(
     *,
     workers: int,
     mode: str = "auto",
+    limits: Optional[ResourceLimits] = None,
+    cancel=None,
 ) -> tuple[Result, ExecutionReport]:
     """Execute ``query`` with partition-parallel workers.
 
     Called by :meth:`repro.engine.executor.Executor.execute_with_report`
     when the effective worker count exceeds one; ``workers=1`` never
     reaches here (the executor short-circuits to the serial path).
+
+    ``limits`` overrides the executor-level resource limits for this
+    call (per-request deadlines from the serving layer).  ``cancel`` is
+    a cooperative cancellation hook consulted by the parent budget
+    during admission and harvest; dispatched workers stop on their own
+    deadlines, so cancellation of in-flight units is best-effort.
     """
     diagnostics = Diagnostics()
     entry = executor._analyze_and_compile(query)
@@ -491,8 +499,12 @@ def execute_parallel(
     instrumentation = (
         instrumentation if instrumentation is not None else Instrumentation()
     )
-    limits = executor._limits
-    budget = Budget(limits, diagnostics) if limits.bounded else None
+    limits = limits if limits is not None else executor._limits
+    budget = (
+        Budget(limits, diagnostics, cancel=cancel)
+        if limits.bounded or cancel is not None
+        else None
+    )
     deadline_end = (
         time.monotonic() + limits.wall_clock_deadline
         if limits.wall_clock_deadline is not None

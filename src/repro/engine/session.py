@@ -76,8 +76,19 @@ class Session:
         self,
         statement: str,
         instrumentation: Optional[Instrumentation] = None,
+        *,
+        limits: Optional[ResourceLimits] = None,
+        workers: Optional[int] = None,
+        cancel=None,
     ) -> Optional[Result]:
-        """Execute one statement; queries return a Result, DDL/DML None."""
+        """Execute one statement; queries return a Result, DDL/DML None.
+
+        ``limits``, ``workers``, and ``cancel`` override the session's
+        executor configuration for this statement only (see
+        :meth:`repro.engine.executor.Executor.execute_with_report`) —
+        the serving layer uses them to apply per-tenant quotas and
+        cooperative cancellation over one shared session.
+        """
         kind = statement_kind(statement)
         if kind == "create":
             self._create(statement)
@@ -85,7 +96,9 @@ class Session:
         if kind == "insert":
             self._insert(statement)
             return None
-        result = self._executor.execute(statement, instrumentation)
+        result = self._executor.execute(
+            statement, instrumentation, limits=limits, workers=workers, cancel=cancel
+        )
         self.diagnostics.merge(result.diagnostics)
         return result
 
@@ -130,6 +143,7 @@ class Session:
         resume: bool = False,
         overflow: str = "raise",
         instrumentation: Optional[Instrumentation] = None,
+        stop=None,
     ):
         """Plan a crash-recoverable streaming query (see Executor.stream).
 
@@ -149,6 +163,7 @@ class Session:
             overflow=overflow,
             instrumentation=instrumentation,
             diagnostics=self.diagnostics,
+            stop=stop,
         )
 
     def load_csv(

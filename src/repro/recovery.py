@@ -457,6 +457,7 @@ class RecoveringStreamRunner:
         diagnostics: Optional[Diagnostics] = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        stop: Optional[Callable[[], Optional[str]]] = None,
     ):
         self._pattern = pattern
         self._source_factory = source_factory
@@ -473,6 +474,7 @@ class RecoveringStreamRunner:
         self.diagnostics = diagnostics if diagnostics is not None else Diagnostics()
         self._clock = clock
         self._sleep = sleep
+        self._stop = stop
         self.matcher: Optional[OpsStreamMatcher] = None
         self.source_offset = 0
 
@@ -568,6 +570,24 @@ class RecoveringStreamRunner:
         rows_since_checkpoint = 0
         last_checkpoint_time = self._clock()
         while True:
+            if self._stop is not None:
+                reason = self._stop()
+                if reason:
+                    # Graceful interrupt (signal, drain): persist the full
+                    # matcher state *without* finishing the stream, so a
+                    # later --resume continues exactly here with the
+                    # exactly-once high-water mark intact.
+                    self._checkpoint()
+                    self.diagnostics.record_limit(
+                        f"{reason}; stream stopped at offset "
+                        f"{self.source_offset}"
+                        + (
+                            " (checkpoint written)"
+                            if self._store is not None
+                            else ""
+                        )
+                    )
+                    return
             try:
                 item = next(source, None)
             except self._retry.retryable as error:

@@ -371,6 +371,43 @@ class Diagnostics:
         )
 
 
+class CancelToken:
+    """A thread-safe cooperative cancellation flag with a reason.
+
+    Built for the serving and CLI layers: a signal handler, a drain
+    sequence, or a disconnected client calls :meth:`cancel` from any
+    thread, and every :class:`Budget` holding the token trips on its
+    next periodic check — the query unwinds exactly like a deadline
+    expiry, returning partial results with a limit diagnostic.  Calling
+    the token returns the reason string when cancelled and ``None``
+    otherwise, which is the ``cancel`` hook contract :class:`Budget`
+    and :class:`~repro.recovery.RecoveringStreamRunner` accept.
+    """
+
+    __slots__ = ("_event", "_reason")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._reason: Optional[str] = None
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Request cancellation (idempotent; the first reason wins)."""
+        if not self._event.is_set():
+            self._reason = reason
+            self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def __call__(self) -> Optional[str]:
+        return self._reason if self._event.is_set() else None
+
+    def __repr__(self) -> str:
+        state = f"cancelled={self._reason!r}" if self._event.is_set() else "live"
+        return f"CancelToken({state})"
+
+
 class Budget:
     """Runtime limit tracking, cheap enough for the innermost matcher loops.
 
@@ -399,6 +436,7 @@ class Budget:
         "_deadline",
         "_stride",
         "_countdown",
+        "_cancel",
         "_lock",
     )
 
@@ -408,6 +446,7 @@ class Budget:
         diagnostics: Optional[Diagnostics] = None,
         clock: Callable[[], float] = time.monotonic,
         check_every: int = 256,
+        cancel: Optional[Callable[[], Optional[str]]] = None,
     ):
         if check_every < 1:
             raise ValueError(f"check_every must be positive, got {check_every}")
@@ -420,6 +459,7 @@ class Budget:
         self._clock = clock
         self._stride = check_every
         self._countdown = check_every
+        self._cancel = cancel
         self._deadline = (
             clock() + limits.wall_clock_deadline
             if limits.wall_clock_deadline is not None
@@ -450,9 +490,15 @@ class Budget:
         return self.check_deadline()
 
     def check_deadline(self) -> bool:
-        """Consult the wall clock now; True when execution must stop."""
+        """Consult the wall clock (and cancel hook) now; True to stop."""
         if self.tripped is not None:
             return True
+        if self._cancel is not None:
+            reason = self._cancel()
+            if reason:
+                return self.trip(
+                    reason if isinstance(reason, str) else "cancelled by caller"
+                )
         if self._deadline is not None and self._clock() > self._deadline:
             return self.trip(
                 f"wall_clock_deadline "

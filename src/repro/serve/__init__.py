@@ -1,0 +1,55 @@
+"""Always-on query service: serve SQL-TS queries to concurrent tenants.
+
+The paper's optimized engine is meant to live *inside a database system*
+serving many queries at once; this package is that front door.  It
+composes the layers the previous PRs built — error policies and budgets
+(:mod:`repro.resilience`), crash-recoverable streaming
+(:mod:`repro.recovery`), and partition-parallel execution
+(:mod:`repro.engine.parallel`) — behind one long-lived asyncio server
+speaking a newline-delimited JSON protocol:
+
+- :mod:`repro.serve.protocol` — the wire format: one JSON object per
+  line, structured error payloads with stable codes and ``retry_after``
+  hints;
+- :mod:`repro.serve.tenants` — per-tenant quotas and admission control:
+  per-query :class:`~repro.resilience.ResourceLimits`, concurrency and
+  queue bounds, and a row-budget token bucket that rejects with
+  ``retry_after`` when a tenant exhausts its allowance;
+- :mod:`repro.serve.server` — the :class:`QueryServer`: named
+  registered tables, one shared executor (and plan cache) across all
+  connections, bounded queues with backpressure, per-request deadlines,
+  graceful drain, and streaming subscriptions with per-subscriber
+  exactly-once delivery;
+- :mod:`repro.serve.client` — a thin blocking client
+  (:class:`ServeClient`) for scripts, benchmarks, and the CLI.
+
+See ``docs/serving.md`` for the protocol and semantics, and
+``python -m repro serve --help`` for the CLI entry point.
+"""
+
+from repro.serve.client import QueryReply, ServeClient, ServeError
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_payload,
+)
+from repro.serve.server import QueryServer, ServerThread
+from repro.serve.tenants import AdmissionController, Rejection, TenantQuota
+
+__all__ = [
+    "AdmissionController",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "QueryReply",
+    "QueryServer",
+    "Rejection",
+    "ServeClient",
+    "ServeError",
+    "ServerThread",
+    "TenantQuota",
+    "decode_frame",
+    "encode_frame",
+    "error_payload",
+]

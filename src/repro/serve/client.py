@@ -1,0 +1,217 @@
+"""A thin blocking client for the query service.
+
+:class:`ServeClient` speaks the newline-delimited JSON protocol over a
+plain socket — no asyncio, so it drops into scripts, tests, the bench
+load generator, and the CLI without ceremony::
+
+    with ServeClient("127.0.0.1", 7433, tenant="acme") as client:
+        reply = client.query("SELECT ... FROM quote ...")
+        for row in reply.rows:
+            ...
+
+Failures raise :class:`ServeError` carrying the server's stable error
+``code`` and optional ``retry_after`` hint; callers that want to retry
+on admission rejections catch it and check :attr:`ServeError.retryable`.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from repro.serve.protocol import MAX_FRAME_BYTES, decode_frame, encode_frame
+
+
+class ServeError(Exception):
+    """A structured failure response from the server."""
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        retry_after: Optional[float] = None,
+    ):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+    @property
+    def retryable(self) -> bool:
+        """Whether retrying after ``retry_after`` seconds can succeed."""
+        return self.code in {
+            "backpressure",
+            "quota_exhausted",
+            "subscription_busy",
+        }
+
+
+@dataclass
+class QueryReply:
+    """A successful query response, unpacked."""
+
+    columns: list[str]
+    rows: list[list[Any]]
+    matches: int
+    limit_hit: bool
+    limits_hit: list[str]
+    elapsed_ms: float
+    diagnostics: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SubscriptionRow:
+    """One delivered match: remember ``seq`` to resume exactly-once."""
+
+    seq: int
+    values: list[Any]
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.QueryServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        tenant: str = "default",
+        timeout: Optional[float] = 30.0,
+    ):
+        self.tenant = tenant
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # -- plumbing -------------------------------------------------------
+
+    def _send(self, payload: dict) -> None:
+        self._sock.sendall(encode_frame(payload))
+
+    def _recv(self) -> dict:
+        line = self._file.readline(MAX_FRAME_BYTES + 2)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_frame(line)
+
+    def request(self, op: str, **fields: Any) -> dict:
+        """Send one request and return its (raw) response payload.
+
+        Raises :class:`ServeError` for ``"ok": false`` responses.
+        """
+        self._next_id += 1
+        rid = self._next_id
+        self._send({"id": rid, "op": op, "tenant": self.tenant, **fields})
+        reply = self._recv()
+        return self._check(reply)
+
+    @staticmethod
+    def _check(reply: dict) -> dict:
+        if reply.get("ok"):
+            return reply
+        error = reply.get("error") or {}
+        raise ServeError(
+            error.get("code", "internal"),
+            error.get("message", "unknown server error"),
+            error.get("retry_after"),
+        )
+
+    # -- operations -----------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def stats(self) -> dict:
+        return self.request("stats")["stats"]
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain (needs ``allow_remote_shutdown``)."""
+        return self.request("shutdown")
+
+    def query(
+        self,
+        sql: str,
+        *,
+        timeout: Optional[float] = None,
+        max_matches: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> QueryReply:
+        fields: dict[str, Any] = {"sql": sql}
+        if timeout is not None:
+            fields["timeout"] = timeout
+        if max_matches is not None:
+            fields["max_matches"] = max_matches
+        if workers is not None:
+            fields["workers"] = workers
+        reply = self.request("query", **fields)
+        return QueryReply(
+            columns=reply["columns"],
+            rows=reply["rows"],
+            matches=reply["matches"],
+            limit_hit=reply["limit_hit"],
+            limits_hit=reply["limits_hit"],
+            elapsed_ms=reply["elapsed_ms"],
+            diagnostics=reply.get("diagnostics", {}),
+        )
+
+    def subscribe(
+        self,
+        sql: str,
+        subscription: str,
+        *,
+        after_seq: int = -1,
+        on_begin: Optional[Callable[[dict], None]] = None,
+    ) -> Iterator[SubscriptionRow]:
+        """Stream matches; yields :class:`SubscriptionRow` until the
+        server sends ``end`` (StopIteration) or ``error`` (ServeError).
+
+        ``after_seq`` is the exactly-once high-water mark: pass the
+        highest ``seq`` previously received and the server suppresses
+        everything at or below it.  The final ``end`` frame is stored on
+        :attr:`last_end` after the iterator is exhausted.
+        """
+        self._next_id += 1
+        rid = self._next_id
+        self._send(
+            {
+                "id": rid,
+                "op": "subscribe",
+                "tenant": self.tenant,
+                "sql": sql,
+                "subscription": subscription,
+                "after_seq": after_seq,
+            }
+        )
+        begin = self._check(self._recv())
+        if on_begin is not None:
+            on_begin(begin)
+        self.last_end: Optional[dict] = None
+        return self._subscription_rows(rid)
+
+    def _subscription_rows(self, rid: int) -> Iterator[SubscriptionRow]:
+        while True:
+            frame = self._recv()
+            event = frame.get("event")
+            if event == "row":
+                yield SubscriptionRow(frame["seq"], frame["values"])
+            elif event == "end":
+                self.last_end = frame
+                return
+            else:  # error frame
+                self._check(frame)
+                return
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

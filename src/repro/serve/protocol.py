@@ -1,0 +1,171 @@
+"""The serve wire protocol: newline-delimited JSON frames.
+
+Every message — request or response — is one JSON object on one line,
+UTF-8 encoded, at most :data:`MAX_FRAME_BYTES` long.  Requests carry::
+
+    {"id": <any scalar>, "op": "query", "tenant": "acme", ...}
+
+and every response echoes the request ``id``.  Success responses have
+``"ok": true``; failures have ``"ok": false`` plus a structured
+``"error"`` object::
+
+    {"id": 7, "ok": false,
+     "error": {"code": "quota_exhausted",
+               "message": "tenant 'acme' row budget exhausted",
+               "retry_after": 1.25}}
+
+``retry_after`` (seconds, or null) is the server's hint for when a
+rejected request is worth retrying — the admission controller computes
+it from the tenant's token-bucket refill rate.  Error codes are stable
+strings (see :data:`ERROR_CODES` for the exception mapping); clients
+must treat unknown codes as non-retryable failures.
+
+Streaming subscriptions multiplex multiple frames per request ``id``:
+a ``{"event": "begin"}`` header, one ``{"event": "row", "seq": n}``
+frame per match, and a closing ``{"event": "end"}`` summary.  ``seq``
+is the match's absolute end position in the stream — stable across
+server restarts — so a reconnecting subscriber passes its highest seen
+``seq`` as ``after_seq`` and receives each match exactly once.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from typing import Any, Optional
+
+from repro.errors import (
+    ExecutionError,
+    LimitExceeded,
+    PlanningError,
+    RecoveryError,
+    ReproError,
+    SchemaError,
+    SemanticError,
+    SqlTsSyntaxError,
+    StatementError,
+)
+
+#: Hard cap on one frame (request or response line), in bytes.  A frame
+#: over the cap is a protocol violation: the server answers with a
+#: ``corrupt_frame`` error and closes the connection (there is no way to
+#: resynchronize a line protocol mid-line).
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+#: Stable error codes for library exceptions crossing the wire.
+ERROR_CODES: dict[type, str] = {
+    SqlTsSyntaxError: "syntax",
+    SemanticError: "semantic",
+    PlanningError: "planning",
+    SchemaError: "schema",
+    LimitExceeded: "limit",
+    RecoveryError: "recovery",
+    StatementError: "statement",
+    ExecutionError: "execution",
+}
+
+
+class ProtocolError(ReproError):
+    """A malformed frame: bad encoding, bad JSON, not an object, or
+    oversize.  ``code`` is the stable error code to send back."""
+
+    def __init__(self, message: str, code: str = "corrupt_frame"):
+        super().__init__(message)
+        self.code = code
+
+
+def _json_default(value: Any) -> str:
+    """Encode the non-JSON values that flow through result rows.
+
+    Dates and datetimes become ISO strings (matching the CSV renderer's
+    textual form); anything else exotic falls back to ``str`` so a
+    response can always be serialized — a response that cannot be sent
+    is worse than a lossy rendering of an unusual cell value.
+    """
+    if isinstance(value, (datetime.date, datetime.datetime)):
+        return value.isoformat()
+    return str(value)
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialize one message to its wire form (JSON line + ``\\n``)."""
+    return (
+        json.dumps(
+            payload, separators=(",", ":"), default=_json_default
+        ).encode("utf-8")
+        + b"\n"
+    )
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse one received line into a request/response object.
+
+    Raises :class:`ProtocolError` for anything that is not a single
+    UTF-8 JSON object within :data:`MAX_FRAME_BYTES` — the corrupt-frame
+    fault class of the chaos suite.
+    """
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        text = line.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise ProtocolError(f"frame is not valid UTF-8 ({error})") from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"frame is not valid JSON ({error})") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def error_payload(
+    code: str,
+    message: str,
+    *,
+    retry_after: Optional[float] = None,
+    request_id: Any = None,
+) -> dict:
+    """Build a structured failure response."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {
+            "code": code,
+            "message": message,
+            "retry_after": retry_after,
+        },
+    }
+
+
+def error_code_for(error: BaseException) -> str:
+    """The stable wire code for an exception (most specific type wins)."""
+    if isinstance(error, ProtocolError):
+        return error.code
+    for cls, code in ERROR_CODES.items():
+        if isinstance(error, cls):
+            return code
+    if isinstance(error, ReproError):
+        return "execution"
+    return "internal"
+
+
+def error_for_exception(error: BaseException, request_id: Any = None) -> dict:
+    """Map an exception to a structured failure response.
+
+    Library errors keep their message (they are user-actionable: a
+    syntax error names the offending token); unexpected internal errors
+    are reported by class name so a fault in one request can never leak
+    another tenant's data through an interpolated message.
+    """
+    code = error_code_for(error)
+    if code == "internal":
+        message = f"internal error ({type(error).__name__}: {error})"
+    else:
+        message = str(error)
+    return error_payload(code, message, request_id=request_id)

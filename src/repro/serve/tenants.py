@@ -1,0 +1,326 @@
+"""Per-tenant quotas and admission control for the query service.
+
+A server shared by many tenants must decide, *before* running anything,
+whether a request is affordable — the selectivity-aware admission
+thinking of Aytimur & Cakmak (PAPERS.md) applied at the service
+boundary.  Three independent controls compose here:
+
+1. **Per-query resource limits** — each tenant carries a
+   :class:`~repro.resilience.ResourceLimits` applied to every query it
+   runs (deadline, match cap, row cap).  Request-level limits can only
+   *tighten* these, never widen them.
+2. **Concurrency + queue bounds** — at most ``max_concurrent`` queries
+   run at once per tenant; up to ``max_queued`` more wait in a bounded
+   queue.  Beyond that the tenant is rejected with ``backpressure`` and
+   a ``retry_after`` hint, so a flooding client degrades itself, not
+   its neighbors.
+3. **A row-budget token bucket** — ``rows_per_second`` refills an
+   allowance capped at ``burst_rows``; each finished query charges the
+   rows it actually scanned (post-paid, so the charge is exact).  A
+   tenant whose allowance is spent is rejected with ``quota_exhausted``
+   and ``retry_after`` equal to the time the bucket needs to refill
+   above zero.
+
+The controller is pure bookkeeping — no asyncio, no threads of its own,
+every method safe to call from any thread — so it is unit-testable with
+a fake clock and reusable outside the server (the bench harness drives
+it directly).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Union
+
+from repro.resilience import ResourceLimits
+
+#: retry_after hint when the bound is concurrency, not budget: there is
+#: no refill schedule to compute from, so suggest a short backoff.
+BACKPRESSURE_RETRY_AFTER = 0.1
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """The declarative per-tenant contract.  ``None`` = unlimited.
+
+    - ``limits``: resource limits applied to every query the tenant
+      runs (request-supplied limits only tighten them);
+    - ``max_concurrent``: queries running at once;
+    - ``max_queued``: queries waiting for a slot beyond that;
+    - ``rows_per_second``: token-bucket refill rate for the scanned-row
+      budget (``None`` disables the budget);
+    - ``burst_rows``: bucket capacity (defaults to 4 seconds of refill).
+    """
+
+    limits: ResourceLimits = field(default_factory=ResourceLimits)
+    max_concurrent: int = 4
+    max_queued: int = 16
+    rows_per_second: Optional[float] = None
+    burst_rows: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be positive, got {self.max_concurrent}"
+            )
+        if self.max_queued < 0:
+            raise ValueError(
+                f"max_queued must be non-negative, got {self.max_queued}"
+            )
+        if self.rows_per_second is not None and self.rows_per_second <= 0:
+            raise ValueError(
+                f"rows_per_second must be positive, got {self.rows_per_second}"
+            )
+        if self.burst_rows is not None and self.burst_rows <= 0:
+            raise ValueError(
+                f"burst_rows must be positive, got {self.burst_rows}"
+            )
+        if self.burst_rows is None and self.rows_per_second is not None:
+            object.__setattr__(self, "burst_rows", self.rows_per_second * 4.0)
+
+    def merge_limits(
+        self,
+        *,
+        timeout: Optional[float] = None,
+        max_matches: Optional[int] = None,
+    ) -> ResourceLimits:
+        """Tighten the tenant limits with request-level bounds.
+
+        Each bound takes the minimum of the tenant's and the request's
+        values — a request can never buy more than its tenant's quota.
+        """
+
+        def tightest(a, b):
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return min(a, b)
+
+        base = self.limits
+        return ResourceLimits(
+            max_matches=tightest(base.max_matches, max_matches),
+            max_rows_scanned=base.max_rows_scanned,
+            wall_clock_deadline=tightest(base.wall_clock_deadline, timeout),
+            max_stream_buffer=base.max_stream_buffer,
+        )
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """An admission refusal: stable code, human message, retry hint."""
+
+    code: str
+    message: str
+    retry_after: Optional[float] = None
+
+
+class _TenantState:
+    """Mutable runtime record for one tenant (guarded by the controller
+    lock)."""
+
+    __slots__ = (
+        "quota",
+        "allowance",
+        "last_refill",
+        "running",
+        "queued",
+        "queries",
+        "rows_charged",
+        "matches",
+        "rejections",
+    )
+
+    def __init__(self, quota: TenantQuota, now: float):
+        self.quota = quota
+        self.allowance: Optional[float] = quota.burst_rows
+        self.last_refill = now
+        self.running = 0
+        self.queued = 0
+        self.queries = 0
+        self.rows_charged = 0
+        self.matches = 0
+        self.rejections: dict[str, int] = {}
+
+    def refill(self, now: float) -> None:
+        rate = self.quota.rows_per_second
+        if rate is None or self.allowance is None:
+            return
+        elapsed = max(now - self.last_refill, 0.0)
+        self.last_refill = now
+        self.allowance = min(
+            self.allowance + elapsed * rate, self.quota.burst_rows
+        )
+
+
+class AdmissionController:
+    """Thread-safe admission bookkeeping for all tenants of one server.
+
+    The protocol is reserve → (promote if queued) → finish::
+
+        decision = controller.reserve(tenant)
+        if isinstance(decision, Rejection): reply with the rejection
+        elif decision == "queue": wait for a slot, then promote(tenant)
+        ... run the query ...
+        controller.finish(tenant, rows_scanned=..., matches=...)
+
+    ``reserve`` returns ``"run"`` (a concurrency slot was taken),
+    ``"queue"`` (the caller owns a queue position and must either
+    :meth:`promote` or :meth:`abandon` it), or a :class:`Rejection`.
+    Unknown tenants receive ``default_quota`` — multi-tenancy here is
+    quota isolation, not authentication.
+    """
+
+    def __init__(
+        self,
+        default_quota: Optional[TenantQuota] = None,
+        quotas: Optional[Mapping[str, TenantQuota]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._default_quota = (
+            default_quota if default_quota is not None else TenantQuota()
+        )
+        self._quotas = dict(quotas or {})
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._tenants: dict[str, _TenantState] = {}
+        self._draining = False
+
+    # ------------------------------------------------------------------
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self._quotas.get(tenant, self._default_quota)
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = _TenantState(self.quota_for(tenant), self._clock())
+            self._tenants[tenant] = state
+        return state
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self) -> None:
+        """Refuse all new admissions from now on (idempotent)."""
+        with self._lock:
+            self._draining = True
+
+    # ------------------------------------------------------------------
+
+    def reserve(self, tenant: str) -> Union[str, Rejection]:
+        """Admit, queue, or reject one request for ``tenant``."""
+        with self._lock:
+            state = self._state(tenant)
+            if self._draining:
+                return self._reject(
+                    state,
+                    Rejection(
+                        "draining",
+                        "server is draining; no new requests are accepted",
+                    ),
+                )
+            now = self._clock()
+            state.refill(now)
+            if state.allowance is not None and state.allowance <= 0:
+                rate = state.quota.rows_per_second
+                retry_after = round((1.0 - state.allowance) / rate, 6)
+                return self._reject(
+                    state,
+                    Rejection(
+                        "quota_exhausted",
+                        f"tenant {tenant!r} has exhausted its row budget "
+                        f"(refills at {rate:g} rows/s)",
+                        retry_after=retry_after,
+                    ),
+                )
+            if state.running < state.quota.max_concurrent:
+                state.running += 1
+                return "run"
+            if state.queued < state.quota.max_queued:
+                state.queued += 1
+                return "queue"
+            return self._reject(
+                state,
+                Rejection(
+                    "backpressure",
+                    f"tenant {tenant!r} has {state.running} running and "
+                    f"{state.queued} queued requests (limits "
+                    f"{state.quota.max_concurrent}/{state.quota.max_queued})",
+                    retry_after=BACKPRESSURE_RETRY_AFTER,
+                ),
+            )
+
+    def _reject(self, state: _TenantState, rejection: Rejection) -> Rejection:
+        state.rejections[rejection.code] = (
+            state.rejections.get(rejection.code, 0) + 1
+        )
+        return rejection
+
+    def try_promote(self, tenant: str) -> bool:
+        """Move one queued request into a just-freed concurrency slot."""
+        with self._lock:
+            state = self._state(tenant)
+            if state.queued < 1:
+                raise RuntimeError(
+                    f"try_promote without a queued reservation for {tenant!r}"
+                )
+            if state.running >= state.quota.max_concurrent:
+                return False
+            state.queued -= 1
+            state.running += 1
+            return True
+
+    def abandon(self, tenant: str) -> None:
+        """Give up a queue position (client disconnected while waiting)."""
+        with self._lock:
+            state = self._state(tenant)
+            if state.queued < 1:
+                raise RuntimeError(
+                    f"abandon without a queued reservation for {tenant!r}"
+                )
+            state.queued -= 1
+
+    def finish(
+        self, tenant: str, *, rows_scanned: int = 0, matches: int = 0
+    ) -> None:
+        """Release a running slot and charge the work actually done."""
+        with self._lock:
+            state = self._state(tenant)
+            if state.running < 1:
+                raise RuntimeError(
+                    f"finish without a running reservation for {tenant!r}"
+                )
+            state.running -= 1
+            state.queries += 1
+            state.rows_charged += rows_scanned
+            state.matches += matches
+            if state.allowance is not None:
+                state.refill(self._clock())
+                state.allowance -= rows_scanned
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view of every tenant's usage (the stats op)."""
+        with self._lock:
+            tenants = {}
+            for name, state in sorted(self._tenants.items()):
+                state.refill(self._clock())
+                tenants[name] = {
+                    "running": state.running,
+                    "queued": state.queued,
+                    "queries": state.queries,
+                    "rows_charged": state.rows_charged,
+                    "matches": state.matches,
+                    "allowance": (
+                        round(state.allowance, 3)
+                        if state.allowance is not None
+                        else None
+                    ),
+                    "rejections": dict(state.rejections),
+                }
+            return {"draining": self._draining, "tenants": tenants}

@@ -1,0 +1,225 @@
+"""Subprocess kill tests: SIGINT/SIGTERM land as graceful cancellation.
+
+These run the real CLI in a child process and deliver real signals, so
+they cover the full path: signal handler -> CancelToken -> budget check
+inside the matcher loop -> partial results + final checkpoint ->
+diagnostics JSON -> exit code 3.  Skipped on platforms without POSIX
+signals.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="requires POSIX signal delivery"
+)
+
+EXIT_LIMIT_HIT = 3
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Every adjacent rising pair matches: on a monotone series that is one
+#: match per row, so ``--throttle`` paces the stream one row at a time.
+RISING_SQL = (
+    "SELECT X.day, Y.day FROM quote SEQUENCE BY day AS (X, Y) "
+    "WHERE Y.price > X.price"
+)
+
+#: Always-true star pattern under the naive matcher: every row is a
+#: candidate start and the star extends to the end of the input, so a
+#: large CSV keeps the matcher busy for tens of seconds — long enough
+#: for a signal to reliably land mid-run.
+SLOW_SQL = (
+    "SELECT X.day, S.day FROM quote SEQUENCE BY day AS (X, *Y, S) "
+    "WHERE Y.price > 0 AND S.price > 0"
+)
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _write_quotes(path: Path, rows: int) -> str:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["name", "day", "price"])
+        for day in range(rows):
+            writer.writerow(["IBM", day, 100.0 + day])
+    return f"quote={path}:name:str,day:int,price:float"
+
+
+def _spawn(*argv: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=_env(),
+    )
+
+
+def _read_rows(process: subprocess.Popen, count: int, timeout: float = 30.0):
+    """Read ``count`` data lines from a streaming child (after the
+    header), failing rather than hanging if the child stalls."""
+    deadline = time.monotonic() + timeout
+    header = process.stdout.readline()
+    assert header, "stream produced no header"
+    rows = []
+    while len(rows) < count:
+        assert time.monotonic() < deadline, (
+            f"only {len(rows)}/{count} rows before timeout"
+        )
+        line = process.stdout.readline()
+        assert line, "stream ended before enough rows were read"
+        rows.append(line.strip())
+    return rows
+
+
+class TestStreamSigterm:
+    def test_sigterm_checkpoints_and_resume_is_disjoint(self, tmp_path):
+        spec = _write_quotes(tmp_path / "quotes.csv", 400)
+        checkpoint = tmp_path / "stream.ckpt"
+        diag_path = tmp_path / "diag.json"
+
+        process = _spawn(
+            "stream",
+            RISING_SQL,
+            "--table",
+            spec,
+            "--checkpoint",
+            str(checkpoint),
+            "--checkpoint-every",
+            "1",
+            "--throttle",
+            "0.02",
+            "--diagnostics-json",
+            str(diag_path),
+        )
+        first_rows = _read_rows(process, 5)
+        process.send_signal(signal.SIGTERM)
+        stdout, stderr = process.communicate(timeout=30)
+
+        assert process.returncode == EXIT_LIMIT_HIT, stderr
+        assert checkpoint.exists(), "no final checkpoint written"
+        diagnostics = json.loads(diag_path.read_text())
+        assert any(
+            "received SIGTERM" in entry for entry in diagnostics["limits_hit"]
+        ), diagnostics["limits_hit"]
+        first = first_rows + [
+            line.strip()
+            for line in stdout.splitlines()
+            if line.strip() and "," in line and not line.startswith("(")
+        ]
+
+        resumed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "stream",
+                RISING_SQL,
+                "--table",
+                spec,
+                "--checkpoint",
+                str(checkpoint),
+                "--resume",
+            ],
+            capture_output=True,
+            text=True,
+            env=_env(),
+            timeout=60,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        resumed_rows = [
+            line.strip()
+            for line in resumed.stdout.splitlines()[1:]
+            if line.strip() and not line.startswith("(")
+        ]
+
+        reference = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "stream",
+                RISING_SQL,
+                "--table",
+                spec,
+            ],
+            capture_output=True,
+            text=True,
+            env=_env(),
+            timeout=60,
+        )
+        assert reference.returncode == 0, reference.stderr
+        expected = [
+            line.strip()
+            for line in reference.stdout.splitlines()[1:]
+            if line.strip() and not line.startswith("(")
+        ]
+
+        # Exactly-once across the kill: no overlap, no loss.
+        assert not (set(first) & set(resumed_rows))
+        assert sorted(first + resumed_rows) == sorted(expected)
+
+    def test_sigint_stream_also_exits_3(self, tmp_path):
+        spec = _write_quotes(tmp_path / "quotes.csv", 400)
+        diag_path = tmp_path / "diag.json"
+        process = _spawn(
+            "stream",
+            RISING_SQL,
+            "--table",
+            spec,
+            "--throttle",
+            "0.02",
+            "--diagnostics-json",
+            str(diag_path),
+        )
+        _read_rows(process, 3)
+        process.send_signal(signal.SIGINT)
+        _, stderr = process.communicate(timeout=30)
+        assert process.returncode == EXIT_LIMIT_HIT, stderr
+        diagnostics = json.loads(diag_path.read_text())
+        assert any(
+            "received SIGINT" in entry for entry in diagnostics["limits_hit"]
+        )
+
+
+class TestQuerySigint:
+    def test_sigint_mid_query_yields_partial_results_and_exit_3(
+        self, tmp_path
+    ):
+        spec = _write_quotes(tmp_path / "quotes.csv", 120_000)
+        diag_path = tmp_path / "diag.json"
+        process = _spawn(
+            "query",
+            SLOW_SQL,
+            "--table",
+            spec,
+            "--matcher",
+            "naive",
+            "--diagnostics-json",
+            str(diag_path),
+        )
+        time.sleep(2.0)  # past CSV load, well inside the matcher loop
+        process.send_signal(signal.SIGINT)
+        stdout, stderr = process.communicate(timeout=30)
+
+        assert process.returncode == EXIT_LIMIT_HIT, stderr
+        diagnostics = json.loads(diag_path.read_text())
+        assert any(
+            "received SIGINT" in entry for entry in diagnostics["limits_hit"]
+        ), diagnostics["limits_hit"]
+        # Partial results were still printed, with the row-count footer.
+        assert "rows)" in stdout

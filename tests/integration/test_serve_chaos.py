@@ -1,0 +1,443 @@
+"""Chaos harness for the always-on query service.
+
+Injects the fault classes a long-lived service meets in production —
+worker death mid-query, client disconnect mid-stream, corrupt frames,
+expired deadlines, and a forced server restart — and asserts the
+graceful-degradation contract:
+
+1. every fault yields a *structured* error response (stable code,
+   optional ``retry_after``), never a hung connection or a stack trace
+   on the wire;
+2. tenants are isolated: while one tenant's requests are being killed,
+   a concurrent well-behaved tenant receives results byte-identical to
+   serial :meth:`Executor.execute`;
+3. the server survives every fault: after each storm it still answers
+   a plain query correctly;
+4. durable subscriptions are exactly-once across a forced restart: a
+   subscriber reconnecting with its ``after_seq`` high-water mark
+   receives each match exactly once, no duplicates, no gaps.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Executor
+from repro.pattern.predicates import AttributeDomains
+from repro.serve import QueryServer, ServeClient, ServerThread, TenantQuota
+from repro.serve.client import ServeError
+from repro.serve.protocol import decode_frame, encode_frame
+
+from tests.serve.conftest import CROSSING_QUERY, RISING_QUERY, price_table
+
+
+def expected_wire_rows(catalog: Catalog, sql: str) -> list:
+    """Serial reference, rendered exactly as the server renders it."""
+    result = Executor(catalog, domains=AttributeDomains.prices()).execute(sql)
+    frame = encode_frame({"rows": [list(row) for row in result.rows]})
+    return json.loads(frame)["rows"]
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    return Catalog([price_table(rows=90)])
+
+
+class TestWorkerDeath:
+    def test_killed_worker_is_a_structured_error_and_tenants_isolated(
+        self, catalog
+    ):
+        """Fault class 1: the worker thread dies mid-query.
+
+        The doomed tenant gets an ``internal`` error; a concurrent
+        healthy tenant, racing the same server the whole time, sees
+        results byte-identical to serial execution.
+        """
+        kills = threading.Event()
+        kills.set()
+
+        def die_for_doomed(op, tenant, sql):
+            if tenant == "doomed" and kills.is_set():
+                raise RuntimeError("simulated worker death")
+
+        server = QueryServer(
+            catalog,
+            domains=AttributeDomains.prices(),
+            fault_injector=die_for_doomed,
+            pool_workers=4,
+        )
+        expected = expected_wire_rows(catalog, CROSSING_QUERY)
+        healthy_results: list = []
+        doomed_errors: list = []
+
+        with ServerThread(server) as handle:
+            def healthy_loop():
+                with ServeClient(*handle.address, tenant="healthy") as c:
+                    for _ in range(6):
+                        healthy_results.append(c.query(CROSSING_QUERY).rows)
+
+            def doomed_loop():
+                with ServeClient(*handle.address, tenant="doomed") as c:
+                    for _ in range(6):
+                        try:
+                            c.query(CROSSING_QUERY)
+                        except ServeError as error:
+                            doomed_errors.append(error)
+
+            threads = [
+                threading.Thread(target=healthy_loop),
+                threading.Thread(target=doomed_loop),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+
+            assert len(doomed_errors) == 6
+            assert all(e.code == "internal" for e in doomed_errors)
+            assert all(
+                "simulated worker death" in e.message for e in doomed_errors
+            )
+            assert len(healthy_results) == 6
+            assert all(rows == expected for rows in healthy_results)
+
+            # The fault stops; the once-doomed tenant recovers fully.
+            kills.clear()
+            with ServeClient(*handle.address, tenant="doomed") as c:
+                assert c.query(CROSSING_QUERY).rows == expected
+
+
+class TestClientDisconnect:
+    def test_disconnect_mid_stream_frees_the_slot(self, catalog):
+        """Fault class 2: the subscriber vanishes mid-stream.
+
+        The server must cancel the producer, release the tenant's
+        admission slot and the subscription id, and keep serving.
+        """
+        server = QueryServer(
+            catalog,
+            domains=AttributeDomains.prices(),
+            default_quota=TenantQuota(max_concurrent=1, max_queued=0),
+        )
+        with ServerThread(server) as handle:
+            host, port = handle.address
+            sock = socket.create_connection((host, port), timeout=10.0)
+            reader = sock.makefile("rb")
+            sock.sendall(
+                encode_frame(
+                    {
+                        "id": 1,
+                        "op": "subscribe",
+                        "tenant": "default",
+                        "sql": CROSSING_QUERY,
+                        "subscription": "vanishing",
+                        "after_seq": -1,
+                    }
+                )
+            )
+            begin = decode_frame(reader.readline())
+            assert begin["event"] == "begin"
+            # Read one row, then vanish without a goodbye.
+            first = decode_frame(reader.readline())
+            assert first["event"] == "row"
+            sock.close()
+
+            # The slot comes back (max_concurrent=1, so a wedged server
+            # would refuse everything) and the subscription id is free.
+            deadline = 10.0
+            import time as _time
+
+            until = _time.monotonic() + deadline
+            last_error = None
+            while _time.monotonic() < until:
+                try:
+                    with ServeClient(host, port) as client:
+                        rows = list(
+                            client.subscribe(CROSSING_QUERY, "vanishing")
+                        )
+                    assert rows
+                    break
+                except ServeError as error:
+                    last_error = error
+                    assert error.code in {
+                        "backpressure",
+                        "subscription_busy",
+                    }
+                    _time.sleep(0.05)
+            else:
+                pytest.fail(f"slot never freed: {last_error}")
+
+    def test_disconnect_mid_query_keeps_server_healthy(self, catalog):
+        server = QueryServer(catalog, domains=AttributeDomains.prices())
+        expected = expected_wire_rows(catalog, RISING_QUERY)
+        with ServerThread(server) as handle:
+            host, port = handle.address
+            # Fire a query and slam the connection without reading.
+            sock = socket.create_connection((host, port), timeout=10.0)
+            sock.sendall(
+                encode_frame({"id": 1, "op": "query", "sql": RISING_QUERY})
+            )
+            sock.close()
+            with ServeClient(host, port) as client:
+                assert client.query(RISING_QUERY).rows == expected
+
+
+class TestCorruptFrames:
+    """Fault class 3: garbage on the wire."""
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"not json at all\n",
+            b"[1, 2, 3]\n",
+            b'"just a string"\n',
+            b"{truncated\n",
+            b"\xde\xad\xbe\xef\n",
+        ],
+    )
+    def test_garbage_gets_structured_error(self, catalog, garbage):
+        server = QueryServer(catalog, domains=AttributeDomains.prices())
+        with ServerThread(server) as handle:
+            host, port = handle.address
+            with socket.create_connection((host, port), timeout=10.0) as sock:
+                reader = sock.makefile("rb")
+                sock.sendall(garbage)
+                reply = decode_frame(reader.readline())
+                assert reply["ok"] is False
+                assert reply["error"]["code"] == "corrupt_frame"
+                # The connection is still usable afterwards.
+                sock.sendall(encode_frame({"id": 2, "op": "ping"}))
+                assert decode_frame(reader.readline())["pong"] is True
+
+    def test_oversize_frame_closes_connection_with_error(self, catalog):
+        server = QueryServer(catalog, domains=AttributeDomains.prices())
+        with ServerThread(server) as handle:
+            host, port = handle.address
+            with socket.create_connection((host, port), timeout=30.0) as sock:
+                reader = sock.makefile("rb")
+                # 5 MiB of unterminated garbage: unrecoverable mid-line.
+                chunk = b"x" * 65536
+                for _ in range(80):
+                    sock.sendall(chunk)
+                sock.sendall(b"\n")
+                reply = decode_frame(reader.readline())
+                assert reply["error"]["code"] == "corrupt_frame"
+                assert reader.readline() == b""  # closed
+
+            # Other connections never noticed.
+            with ServeClient(host, port) as client:
+                assert client.ping()["pong"] is True
+
+
+class TestExpiredDeadlines:
+    """Fault class 4: requests whose time has already run out."""
+
+    def test_already_expired_deadline(self, catalog):
+        server = QueryServer(catalog, domains=AttributeDomains.prices())
+        with ServerThread(server) as handle:
+            with ServeClient(*handle.address) as client:
+                for timeout in (0, -1, -0.001):
+                    with pytest.raises(ServeError) as info:
+                        client.query(RISING_QUERY, timeout=timeout)
+                    assert info.value.code == "deadline"
+                # The connection survives the refusals.
+                assert client.query(RISING_QUERY).rows
+
+    def test_tiny_deadline_returns_partial_not_hang(self, catalog):
+        server = QueryServer(catalog, domains=AttributeDomains.prices())
+        with ServerThread(server) as handle:
+            with ServeClient(*handle.address) as client:
+                # A microscopic (but unexpired) deadline trips inside
+                # execution: a partial result with a structured limit
+                # diagnostic, never a hang or a connection error.
+                reply = client.query(RISING_QUERY, timeout=1e-6)
+        assert reply.limit_hit
+        assert any("deadline" in r for r in reply.limits_hit)
+
+
+class TestForcedRestart:
+    def test_subscription_exactly_once_across_restart(self, catalog, tmp_path):
+        """The headline recovery guarantee, end to end over sockets.
+
+        A subscriber consumes part of a durable subscription; the server
+        is force-stopped (no drain) mid-stream; a new server over the
+        same checkpoint directory comes up; the subscriber reconnects
+        with its high-water mark.  Union of deliveries == the batch
+        reference, with zero duplicates.
+        """
+        checkpoint_dir = str(tmp_path / "ckpt")
+        expected = expected_wire_rows(catalog, CROSSING_QUERY)
+        assert len(expected) >= 4
+
+        delivered: list = []
+        gate = threading.Event()
+
+        def start_server() -> ServerThread:
+            return ServerThread(
+                QueryServer(
+                    catalog,
+                    domains=AttributeDomains.prices(),
+                    checkpoint_dir=checkpoint_dir,
+                    # Checkpoint every row so the forced restart lands
+                    # between delivery and high-water persistence often.
+                    subscription_checkpoint_every=1,
+                    fault_injector=lambda op, t, s: gate.wait(timeout=5.0)
+                    if op == "subscribe"
+                    else None,
+                )
+            ).start()
+
+        handle = start_server()
+        host, port = handle.address
+        client = ServeClient(host, port)
+        rows = client.subscribe(CROSSING_QUERY, "durable")
+        consumed = 0
+        try:
+            for row in rows:
+                delivered.append((row.seq, row.values))
+                consumed += 1
+                if consumed == 2:
+                    break  # leave the rest in flight
+        finally:
+            gate.set()
+        handle.force_stop()  # simulated crash: no drain, no goodbye
+        try:
+            client.close()
+        except OSError:
+            pass
+
+        # Restart over the same durable state; reconnect with the mark.
+        handle = start_server()
+        gate.set()
+        host, port = handle.address
+        try:
+            with ServeClient(host, port) as client:
+                after = max(seq for seq, _ in delivered)
+                for row in client.subscribe(
+                    CROSSING_QUERY, "durable", after_seq=after
+                ):
+                    delivered.append((row.seq, row.values))
+        finally:
+            handle.stop(grace=2.0)
+
+        seqs = [seq for seq, _ in delivered]
+        assert len(seqs) == len(set(seqs)), "duplicate delivery"
+        assert [values for _, values in delivered] == expected
+
+    def test_query_after_restart_identical(self, catalog):
+        expected = expected_wire_rows(catalog, RISING_QUERY)
+        handle = ServerThread(
+            QueryServer(catalog, domains=AttributeDomains.prices())
+        ).start()
+        with ServeClient(*handle.address) as client:
+            assert client.query(RISING_QUERY).rows == expected
+        handle.force_stop()
+
+        handle = ServerThread(
+            QueryServer(catalog, domains=AttributeDomains.prices())
+        ).start()
+        try:
+            with ServeClient(*handle.address) as client:
+                assert client.query(RISING_QUERY).rows == expected
+        finally:
+            handle.stop(grace=2.0)
+
+
+class TestChaosStorm:
+    def test_mixed_fault_storm_with_byte_identical_survivor(self, catalog):
+        """All fault classes at once against one server; one measured
+        tenant must come through with byte-identical results."""
+        def flaky(op, tenant, sql):
+            if tenant == "flaky":
+                raise OSError("simulated I/O failure in worker")
+
+        server = QueryServer(
+            catalog,
+            domains=AttributeDomains.prices(),
+            fault_injector=flaky,
+            pool_workers=4,
+            quotas={"starved": TenantQuota(rows_per_second=1.0)},
+        )
+        expected = expected_wire_rows(catalog, CROSSING_QUERY)
+        survivor_rows: list = []
+        structured: dict[str, int] = {}
+        lock = threading.Lock()
+
+        def record(code: str) -> None:
+            with lock:
+                structured[code] = structured.get(code, 0) + 1
+
+        with ServerThread(server) as handle:
+            host, port = handle.address
+
+            def survivor():
+                with ServeClient(host, port, tenant="survivor") as c:
+                    for _ in range(5):
+                        survivor_rows.append(c.query(CROSSING_QUERY).rows)
+
+            def worker_killer():
+                with ServeClient(host, port, tenant="flaky") as c:
+                    for _ in range(5):
+                        try:
+                            c.query(CROSSING_QUERY)
+                        except ServeError as error:
+                            record(error.code)
+
+            def frame_corruptor():
+                for _ in range(5):
+                    with socket.create_connection(
+                        (host, port), timeout=10.0
+                    ) as sock:
+                        reader = sock.makefile("rb")
+                        sock.sendall(b"}{ total garbage\n")
+                        reply = decode_frame(reader.readline())
+                        record(reply["error"]["code"])
+
+            def deadline_expirer():
+                with ServeClient(host, port, tenant="hasty") as c:
+                    for _ in range(5):
+                        try:
+                            c.query(CROSSING_QUERY, timeout=-1)
+                        except ServeError as error:
+                            record(error.code)
+
+            def quota_exhauster():
+                with ServeClient(host, port, tenant="starved") as c:
+                    for _ in range(5):
+                        try:
+                            c.query(CROSSING_QUERY)
+                        except ServeError as error:
+                            record(error.code)
+
+            threads = [
+                threading.Thread(target=fn)
+                for fn in (
+                    survivor,
+                    worker_killer,
+                    frame_corruptor,
+                    deadline_expirer,
+                    quota_exhauster,
+                )
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+
+            # Every fault class produced its structured error...
+            assert structured.get("internal", 0) == 5
+            assert structured.get("corrupt_frame", 0) == 5
+            assert structured.get("deadline", 0) == 5
+            assert structured.get("quota_exhausted", 0) >= 1
+            # ...and the survivor never saw anything but perfect results.
+            assert len(survivor_rows) == 5
+            assert all(rows == expected for rows in survivor_rows)
+
+            # The server itself is still healthy after the storm.
+            with ServeClient(host, port) as client:
+                assert client.query(CROSSING_QUERY).rows == expected

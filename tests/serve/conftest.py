@@ -1,0 +1,69 @@
+"""Shared fixtures: a tiny price table and a live server factory."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engine.catalog import Catalog
+from repro.engine.table import Schema, Table
+from repro.pattern.predicates import AttributeDomains
+from repro.serve import QueryServer, ServerThread
+
+
+def price_table(rows: int = 60, name: str = "quote") -> Table:
+    """A deterministic sine-wave price series: plenty of dip/recover
+    patterns, zero randomness."""
+    table = Table(
+        name, Schema([("name", "str"), ("day", "int"), ("price", "float")])
+    )
+    for day in range(rows):
+        table.insert(
+            {
+                "name": "IBM",
+                "day": day,
+                "price": round(100.0 + 10.0 * math.sin(day / 3.0), 4),
+            }
+        )
+    return table
+
+
+#: A query with matches spread across the whole series (one per upward
+#: crossing of the centerline).
+CROSSING_QUERY = (
+    "SELECT X.day, Y.day FROM quote SEQUENCE BY day AS (X, Y) "
+    "WHERE X.price < 100 AND Y.price >= 100"
+)
+
+#: Every adjacent rising pair: many matches, cheap to verify.
+RISING_QUERY = (
+    "SELECT X.day FROM quote SEQUENCE BY day AS (X, Y) "
+    "WHERE Y.price > X.price"
+)
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    return Catalog([price_table()])
+
+
+@pytest.fixture
+def run_server(catalog):
+    """Factory: start a QueryServer on its thread; always stopped at
+    teardown (tests may also stop it themselves)."""
+    handles = []
+
+    def start(**kwargs) -> ServerThread:
+        kwargs.setdefault("domains", AttributeDomains.prices())
+        server = QueryServer(kwargs.pop("catalog", catalog), **kwargs)
+        handle = ServerThread(server).start()
+        handles.append(handle)
+        return handle
+
+    yield start
+    for handle in handles:
+        try:
+            handle.stop(grace=1.0)
+        except Exception:
+            pass

@@ -1,0 +1,212 @@
+"""Unit tests for per-tenant quotas and admission control.
+
+All timing runs against a fake clock, so the token-bucket arithmetic
+(refill, burst cap, retry_after hints) is exact and instant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import ResourceLimits
+from repro.serve.tenants import (
+    AdmissionController,
+    Rejection,
+    TenantQuota,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestTenantQuota:
+    def test_defaults_are_unlimited_budget(self):
+        quota = TenantQuota()
+        assert quota.rows_per_second is None
+        assert quota.burst_rows is None
+
+    def test_burst_defaults_to_four_seconds_of_refill(self):
+        quota = TenantQuota(rows_per_second=100.0)
+        assert quota.burst_rows == 400.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_concurrent": 0},
+            {"max_queued": -1},
+            {"rows_per_second": 0.0},
+            {"rows_per_second": -5.0},
+            {"burst_rows": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantQuota(**kwargs)
+
+    def test_merge_limits_takes_the_tightest_bound(self):
+        quota = TenantQuota(
+            limits=ResourceLimits(max_matches=100, wall_clock_deadline=10.0)
+        )
+        merged = quota.merge_limits(timeout=2.0, max_matches=500)
+        assert merged.wall_clock_deadline == 2.0  # request tighter
+        assert merged.max_matches == 100  # tenant tighter
+
+    def test_merge_limits_none_keeps_tenant_bounds(self):
+        quota = TenantQuota(limits=ResourceLimits(max_rows_scanned=1000))
+        merged = quota.merge_limits()
+        assert merged.max_rows_scanned == 1000
+        assert merged.wall_clock_deadline is None
+
+
+class TestConcurrencyAdmission:
+    def test_run_until_concurrency_cap(self, clock):
+        controller = AdmissionController(
+            default_quota=TenantQuota(max_concurrent=2, max_queued=1),
+            clock=clock,
+        )
+        assert controller.reserve("t") == "run"
+        assert controller.reserve("t") == "run"
+        assert controller.reserve("t") == "queue"
+        rejection = controller.reserve("t")
+        assert isinstance(rejection, Rejection)
+        assert rejection.code == "backpressure"
+        assert rejection.retry_after is not None
+
+    def test_finish_frees_a_slot_for_promotion(self, clock):
+        controller = AdmissionController(
+            default_quota=TenantQuota(max_concurrent=1, max_queued=1),
+            clock=clock,
+        )
+        assert controller.reserve("t") == "run"
+        assert controller.reserve("t") == "queue"
+        assert controller.try_promote("t") is False  # slot still held
+        controller.finish("t")
+        assert controller.try_promote("t") is True
+
+    def test_abandon_releases_the_queue_position(self, clock):
+        controller = AdmissionController(
+            default_quota=TenantQuota(max_concurrent=1, max_queued=1),
+            clock=clock,
+        )
+        controller.reserve("t")
+        assert controller.reserve("t") == "queue"
+        controller.abandon("t")
+        assert controller.reserve("t") == "queue"  # position free again
+
+    def test_bookkeeping_errors_raise(self, clock):
+        controller = AdmissionController(clock=clock)
+        with pytest.raises(RuntimeError):
+            controller.finish("t")
+        with pytest.raises(RuntimeError):
+            controller.try_promote("t")
+        with pytest.raises(RuntimeError):
+            controller.abandon("t")
+
+    def test_tenants_are_isolated(self, clock):
+        controller = AdmissionController(
+            default_quota=TenantQuota(max_concurrent=1, max_queued=0),
+            clock=clock,
+        )
+        assert controller.reserve("a") == "run"
+        assert isinstance(controller.reserve("a"), Rejection)
+        assert controller.reserve("b") == "run"  # b unaffected by a's load
+
+
+class TestRowBudget:
+    def quota(self) -> TenantQuota:
+        return TenantQuota(
+            max_concurrent=8, rows_per_second=100.0, burst_rows=200.0
+        )
+
+    def test_post_paid_charge_drains_the_bucket(self, clock):
+        controller = AdmissionController(
+            default_quota=self.quota(), clock=clock
+        )
+        assert controller.reserve("t") == "run"
+        controller.finish("t", rows_scanned=500)  # overdraws: allowance -300
+        rejection = controller.reserve("t")
+        assert isinstance(rejection, Rejection)
+        assert rejection.code == "quota_exhausted"
+        # Refilling from -300 to just above 0 at 100 rows/s takes ~3s.
+        assert rejection.retry_after == pytest.approx(3.01, abs=0.01)
+
+    def test_bucket_refills_over_time(self, clock):
+        controller = AdmissionController(
+            default_quota=self.quota(), clock=clock
+        )
+        controller.reserve("t")
+        controller.finish("t", rows_scanned=250)  # allowance -50
+        assert isinstance(controller.reserve("t"), Rejection)
+        clock.advance(1.0)  # +100 rows -> allowance 50
+        assert controller.reserve("t") == "run"
+
+    def test_refill_caps_at_burst(self, clock):
+        controller = AdmissionController(
+            default_quota=self.quota(), clock=clock
+        )
+        controller.reserve("t")
+        controller.finish("t", rows_scanned=100)
+        clock.advance(3600.0)  # an hour of refill
+        snapshot = controller.snapshot()
+        assert snapshot["tenants"]["t"]["allowance"] == 200.0  # burst cap
+
+    def test_unlimited_tenant_never_rejected_on_budget(self, clock):
+        controller = AdmissionController(
+            default_quota=TenantQuota(max_concurrent=100), clock=clock
+        )
+        for _ in range(50):
+            assert controller.reserve("t") == "run"
+            controller.finish("t", rows_scanned=10**9)
+
+
+class TestDrainAndSnapshot:
+    def test_drain_rejects_everything(self, clock):
+        controller = AdmissionController(clock=clock)
+        controller.drain()
+        rejection = controller.reserve("t")
+        assert isinstance(rejection, Rejection)
+        assert rejection.code == "draining"
+        assert controller.draining
+
+    def test_named_quota_overrides_default(self, clock):
+        controller = AdmissionController(
+            default_quota=TenantQuota(max_concurrent=8),
+            quotas={"small": TenantQuota(max_concurrent=1, max_queued=0)},
+            clock=clock,
+        )
+        assert controller.reserve("small") == "run"
+        assert isinstance(controller.reserve("small"), Rejection)
+        assert controller.reserve("anyone-else") == "run"
+        assert controller.reserve("anyone-else") == "run"
+
+    def test_snapshot_shape(self, clock):
+        controller = AdmissionController(
+            default_quota=TenantQuota(
+                max_concurrent=1, max_queued=0, rows_per_second=10.0
+            ),
+            clock=clock,
+        )
+        controller.reserve("t")
+        controller.finish("t", rows_scanned=7, matches=2)
+        assert controller.reserve("t") == "run"
+        assert isinstance(controller.reserve("t"), Rejection)  # backpressure
+        snapshot = controller.snapshot()
+        record = snapshot["tenants"]["t"]
+        assert record["queries"] == 1
+        assert record["rows_charged"] == 7
+        assert record["matches"] == 2
+        assert record["running"] == 1
+        assert record["rejections"] == {"backpressure": 1}
