@@ -1,0 +1,36 @@
+"""Shared bench-report plumbing: host provenance for every artefact.
+
+Every ``BENCH_*.json`` this repo commits compares wall-clock numbers
+across commits, which is meaningless unless each artefact records
+*where* its numbers came from.  :func:`bench_metadata` is the one block
+every benchmark embeds under a top-level ``"meta"`` key — check modes
+never compare it, so regenerating on a different host changes the
+provenance, not the gate.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from typing import Optional
+
+from repro.obs import MetricsRegistry
+
+
+def bench_metadata(registry: Optional[MetricsRegistry] = None) -> dict:
+    """The provenance block shared by every committed bench artefact.
+
+    With a ``registry``, its JSON snapshot rides along so a bench run
+    also archives the engine counters (plan-cache hits, query
+    histograms) it produced.
+    """
+    meta: dict = {
+        "host": platform.node(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+    }
+    if registry is not None:
+        meta["metrics"] = registry.snapshot()
+    return meta

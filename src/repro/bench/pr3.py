@@ -26,6 +26,7 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.bench.common import bench_metadata
 from repro.data.djia import djia_table
 from repro.data.planted import TEMPLATE_LENGTH, plant_double_bottoms
 from repro.data.random_walk import geometric_walk
@@ -157,6 +158,7 @@ def run_bench(profile: str = "full") -> dict:
     return {
         "bench": "pr3-compiled-predicates",
         "profile": profile,
+        "meta": bench_metadata(),
         "workloads": workloads,
         "plan_cache": _bench_plan_cache(),
         "headline": {

@@ -30,6 +30,7 @@ import time
 from pathlib import Path
 from typing import Optional
 
+from repro.bench.common import bench_metadata
 from repro.data.djia import djia_table
 from repro.data.random_walk import geometric_walk
 from repro.data.workloads import EXAMPLE_10
@@ -157,6 +158,7 @@ def run_bench(profile: str = "full") -> dict:
     return {
         "bench": "pr5-parallel-partitions",
         "profile": profile,
+        "meta": bench_metadata(),
         "cpu_count": os.cpu_count(),
         "scaling_note": (
             "recorded on a single-core host: speedup columns are "

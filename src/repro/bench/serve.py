@@ -38,6 +38,7 @@ import time
 from pathlib import Path
 from typing import Optional
 
+from repro.bench.common import bench_metadata
 from repro.data.djia import djia_table
 from repro.data.quotes import quote_table
 from repro.engine.catalog import Catalog
@@ -214,6 +215,7 @@ def run_bench(profile: str = "full") -> dict:
     return {
         "bench": "serve-latency",
         "profile": profile,
+        "meta": bench_metadata(),
         "clients": clients,
         "requests_per_client": requests_per_client,
         "completed_requests": completed,

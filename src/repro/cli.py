@@ -41,6 +41,7 @@ from repro.engine.executor import Executor
 from repro.engine.table import Schema
 from repro.errors import ExecutionError, ReproError
 from repro.match.base import Instrumentation
+from repro.obs import Trace
 from repro.pattern.predicates import AttributeDomains
 from repro.resilience import CancelToken, Diagnostics, ErrorPolicy, ResourceLimits
 
@@ -182,11 +183,12 @@ def _command_query(args: argparse.Namespace, out) -> int:
         parallel_mode=args.parallel_mode,
     )
     instrumentation = Instrumentation()
+    trace = Trace() if args.profile else None
     token = CancelToken()
     previous = _cancel_on_signals(token)
     try:
         result, report = executor.execute_with_report(
-            args.sql, instrumentation, cancel=token
+            args.sql, instrumentation, cancel=token, trace=trace
         )
     except ReproError:
         _write_diagnostics_json(args, diagnostics)
@@ -197,6 +199,9 @@ def _command_query(args: argparse.Namespace, out) -> int:
     _write_diagnostics_json(args, diagnostics)
     print(result.pretty(max_rows=args.max_rows), file=out)
     print(f"({len(result)} rows)", file=out)
+    if args.profile and result.profile is not None:
+        print(file=out)
+        print(result.profile.render(), file=out)
     if not diagnostics.ok:
         print(diagnostics.summary(), file=sys.stderr)
     if args.stats:
@@ -319,7 +324,7 @@ def _command_stream(args: argparse.Namespace, out) -> int:
 def _command_explain(args: argparse.Namespace, out) -> int:
     catalog = _build_catalog(args)
     domains = AttributeDomains(args.positive)
-    executor = Executor(catalog, domains=domains)
+    executor = Executor(catalog, domains=domains, matcher=args.matcher)
     analyzed, compiled = executor.prepare(args.sql)
     print(f"table: {analyzed.table}", file=out)
     if analyzed.cluster_by:
@@ -338,6 +343,11 @@ def _command_explain(args: argparse.Namespace, out) -> int:
         print(file=out)
         print("implication graph G_P:", file=out)
         print(compiled.graph.render(), file=out)
+    if args.analyze:
+        trace = Trace()
+        result = executor.execute(args.sql, trace=trace)
+        print(file=out)
+        print(result.profile.render(), file=out)
     return 0
 
 
@@ -358,6 +368,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--stats", action="store_true", help="print execution statistics"
+    )
+    query.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the execution and print the EXPLAIN ANALYZE-style "
+        "operator tree (wall time, rows, predicate tests per cluster)",
     )
     query.add_argument(
         "--max-rows", type=int, default=20, help="rows to display (default 20)"
@@ -525,6 +541,18 @@ def build_parser() -> argparse.ArgumentParser:
         "explain", help="show the compiled OPS plan for a query"
     )
     _add_common_arguments(explain)
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="additionally execute the query under tracing and print the "
+        "per-operator profile (like EXPLAIN ANALYZE)",
+    )
+    explain.add_argument(
+        "--matcher",
+        choices=sorted(NAMED_MATCHERS),
+        default="ops",
+        help="evaluation strategy for --analyze (default: ops)",
+    )
     explain.set_defaults(func=_command_explain)
 
     serve = subparsers.add_parser(
@@ -644,6 +672,20 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[policy.value for policy in ErrorPolicy],
         default="raise",
         help="error policy for CSV loading and query execution",
+    )
+    serve.add_argument(
+        "--slow-query-log",
+        metavar="PATH",
+        default=None,
+        help="append a JSON line for every query slower than "
+        "--slow-query-threshold",
+    )
+    serve.add_argument(
+        "--slow-query-threshold",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="wall-time threshold for the slow-query log (default 1.0)",
     )
     serve.set_defaults(func=_command_serve)
 
@@ -827,6 +869,8 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         host=args.host,
         port=args.port,
         allow_remote_shutdown=args.allow_remote_shutdown,
+        slow_query_threshold=args.slow_query_threshold,
+        slow_query_log=args.slow_query_log,
     )
     stop = threading.Event()
     previous = {}

@@ -25,7 +25,9 @@ with no limits behaves exactly like the seed executor.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Mapping, Optional, Tuple, Union
 
@@ -39,6 +41,7 @@ from repro.match.base import Instrumentation, Match, Matcher
 from repro.match.naive import NaiveMatcher
 from repro.match.ops import OpsMatcher
 from repro.match.ops_star import OpsStarMatcher
+from repro.obs import MetricsRegistry, QueryProfile, Trace
 from repro.pattern.compiler import CompiledPattern, compile_pattern, degraded_pattern
 from repro.pattern.predicates import AttributeDomains
 from repro.recovery import (
@@ -122,6 +125,7 @@ class Executor:
         plan_cache_size: int = 128,
         workers: int = 1,
         parallel_mode: str = "auto",
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self._catalog = catalog
         self._domains = domains if domains is not None else AttributeDomains.none()
@@ -147,8 +151,23 @@ class Executor:
         # the dict, so every access is serialized: parallel thread workers
         # and user threads sharing one executor must not corrupt it.
         self._plan_cache_lock = threading.Lock()
-        self.plan_cache_hits = 0
-        self.plan_cache_misses = 0
+        # The flight recorder's registry (docs/observability.md): shared
+        # with the serving layer when one is passed in, private otherwise.
+        # Plan-cache traffic lives here — ``plan_cache_hits``/``_misses``
+        # stay available as int properties for existing callers.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._plan_cache_hit_counter = self.metrics.counter(
+            "repro_plan_cache_hits_total", "Plan-cache hits"
+        )
+        self._plan_cache_miss_counter = self.metrics.counter(
+            "repro_plan_cache_misses_total", "Plan-cache misses"
+        )
+        self._queries_counter = self.metrics.counter(
+            "repro_queries_total", "Queries executed to completion"
+        )
+        self._query_seconds = self.metrics.histogram(
+            "repro_query_seconds", "Query wall time in seconds"
+        )
         if not isinstance(workers, int) or workers < 1:
             raise ExecutionError(f"workers must be a positive int, got {workers!r}")
         if parallel_mode not in PARALLEL_MODES:
@@ -158,6 +177,14 @@ class Executor:
             )
         self._workers = workers
         self._parallel_mode = parallel_mode
+
+    @property
+    def plan_cache_hits(self) -> int:
+        return int(self._plan_cache_hit_counter.value)
+
+    @property
+    def plan_cache_misses(self) -> int:
+        return int(self._plan_cache_miss_counter.value)
 
     def prepare(self, query: Union[str, ast.Query]) -> tuple[AnalyzedQuery, CompiledPattern]:
         """Parse, analyze, and OPS-compile a query without running it."""
@@ -174,9 +201,15 @@ class Executor:
         workers: Optional[int] = None,
         limits: Optional[ResourceLimits] = None,
         cancel: Optional[Callable[[], Optional[str]]] = None,
+        trace: Optional[Trace] = None,
     ) -> Result:
         result, _ = self.execute_with_report(
-            query, instrumentation, workers=workers, limits=limits, cancel=cancel
+            query,
+            instrumentation,
+            workers=workers,
+            limits=limits,
+            cancel=cancel,
+            trace=trace,
         )
         return result
 
@@ -188,6 +221,7 @@ class Executor:
         workers: Optional[int] = None,
         limits: Optional[ResourceLimits] = None,
         cancel: Optional[Callable[[], Optional[str]]] = None,
+        trace: Optional[Trace] = None,
     ) -> tuple[Result, ExecutionReport]:
         """Execute ``query``, serially or partition-parallel.
 
@@ -206,16 +240,25 @@ class Executor:
         called periodically from the budget checks; returning a reason
         string trips the budget and the query returns partial results
         with a limit diagnostic.
+
+        ``trace`` (a :class:`~repro.obs.Trace`) turns on the flight
+        recorder for this call: spans cover planning, the cluster scan
+        (or the parallel pool), and the result carries an
+        EXPLAIN ANALYZE-style :class:`~repro.obs.QueryProfile` on
+        ``result.profile``.  With ``trace=None`` (the default) the
+        traced code paths are never entered — output is byte-identical
+        either way (asserted by ``repro.bench.obs_overhead``).
         """
         effective_workers = self._workers if workers is None else workers
         if not isinstance(effective_workers, int) or effective_workers < 1:
             raise ExecutionError(
                 f"workers must be a positive int, got {effective_workers!r}"
             )
+        started = time.perf_counter()
         if effective_workers > 1:
             from repro.engine.parallel import execute_parallel
 
-            return execute_parallel(
+            result, report = execute_parallel(
                 self,
                 query,
                 instrumentation,
@@ -223,8 +266,15 @@ class Executor:
                 mode=self._parallel_mode,
                 limits=limits,
                 cancel=cancel,
+                trace=trace,
             )
-        return self._execute_serial(query, instrumentation, limits=limits, cancel=cancel)
+        else:
+            result, report = self._execute_serial(
+                query, instrumentation, limits=limits, cancel=cancel, trace=trace
+            )
+        self._queries_counter.inc()
+        self._query_seconds.observe(time.perf_counter() - started)
+        return result, report
 
     def _execute_serial(
         self,
@@ -233,10 +283,48 @@ class Executor:
         *,
         limits: Optional[ResourceLimits] = None,
         cancel: Optional[Callable[[], Optional[str]]] = None,
+        trace: Optional[Trace] = None,
+    ) -> tuple[Result, ExecutionReport]:
+        if trace is None:
+            return self._serial_pass(
+                query, instrumentation, limits=limits, cancel=cancel, trace=None
+            )
+        with trace.span("execute", mode="serial") as root:
+            result, report = self._serial_pass(
+                query, instrumentation, limits=limits, cancel=cancel, trace=trace
+            )
+        root.annotate(
+            matcher=report.matcher,
+            matches=report.matches,
+            rows_scanned=report.rows_scanned,
+            tests=report.predicate_tests,
+        )
+        result.profile = QueryProfile(trace, report)
+        return result, report
+
+    def _serial_pass(
+        self,
+        query: Union[str, ast.Query],
+        instrumentation: Optional[Instrumentation] = None,
+        *,
+        limits: Optional[ResourceLimits] = None,
+        cancel: Optional[Callable[[], Optional[str]]] = None,
+        trace: Optional[Trace] = None,
     ) -> tuple[Result, ExecutionReport]:
         diagnostics = Diagnostics()
-        analyzed, compiled, matcher_name, matcher = self._plan(query, diagnostics)
+        if trace is not None:
+            with trace.span("plan") as plan_span:
+                analyzed, compiled, matcher_name, matcher = self._plan(
+                    query, diagnostics
+                )
+            _annotate_plan_span(
+                plan_span, diagnostics, matcher_name, compiled
+            )
+        else:
+            analyzed, compiled, matcher_name, matcher = self._plan(query, diagnostics)
         instrumentation = instrumentation or Instrumentation()
+        if trace is not None:
+            instrumentation.enable_detail()
         effective_limits = limits if limits is not None else self._limits
         budget = (
             Budget(effective_limits, diagnostics, cancel=cancel)
@@ -253,31 +341,59 @@ class Executor:
         searched = 0
         scanned = 0
         match_count = 0
-        for _, rows in clusters_of(
-            table,
-            analyzed.cluster_by,
-            analyzed.sequence_by,
-            policy=self._policy,
-            diagnostics=diagnostics,
-        ):
-            clusters += 1
-            if budget is not None and budget.check_deadline():
-                break
-            if not _cluster_passes(analyzed, rows):
-                continue
-            if budget is not None and budget.add_rows(len(rows)):
-                break
-            searched += 1
-            scanned += len(rows)
-            matches, matcher_name, matcher = self._search_cluster(
-                rows, compiled, matcher_name, matcher, instrumentation,
-                budget, diagnostics,
+        with (
+            trace.span("scan") if trace is not None else nullcontext()
+        ) as scan_span:
+            for key, rows in clusters_of(
+                table,
+                analyzed.cluster_by,
+                analyzed.sequence_by,
+                policy=self._policy,
+                diagnostics=diagnostics,
+            ):
+                clusters += 1
+                if budget is not None and budget.check_deadline():
+                    break
+                if not _cluster_passes(analyzed, rows):
+                    continue
+                if budget is not None and budget.add_rows(len(rows)):
+                    break
+                searched += 1
+                scanned += len(rows)
+                if trace is not None:
+                    tests_before = instrumentation.tests
+                    with trace.span("cluster") as cluster_span:
+                        matches, matcher_name, matcher = self._search_cluster(
+                            rows, compiled, matcher_name, matcher,
+                            instrumentation, budget, diagnostics,
+                        )
+                    cluster_span.annotate(
+                        partition=_cluster_label(key),
+                        rows=len(rows),
+                        tests=instrumentation.tests - tests_before,
+                        matches=len(matches),
+                        matcher=matcher_name,
+                    )
+                else:
+                    matches, matcher_name, matcher = self._search_cluster(
+                        rows, compiled, matcher_name, matcher, instrumentation,
+                        budget, diagnostics,
+                    )
+                for match in matches:
+                    match_count += 1
+                    output_rows.append(_project(analyzed, rows, match))
+                if budget is not None and budget.tripped is not None:
+                    break
+        if scan_span is not None:
+            scan_span.annotate(
+                clusters=clusters,
+                clusters_searched=searched,
+                rows_scanned=scanned,
+                skips=instrumentation.skips,
+                skip_distance=instrumentation.skip_distance,
             )
-            for match in matches:
-                match_count += 1
-                output_rows.append(_project(analyzed, rows, match))
             if budget is not None and budget.tripped is not None:
-                break
+                scan_span.annotate(tripped=budget.tripped)
         report = ExecutionReport(
             matcher=matcher_name,
             clusters=clusters,
@@ -303,6 +419,7 @@ class Executor:
         instrumentation: Optional[Instrumentation] = None,
         diagnostics: Optional[Diagnostics] = None,
         stop: Optional[Callable[[], Optional[str]]] = None,
+        trace: Optional[Trace] = None,
     ) -> "StreamingQuery":
         """Plan a query for crash-recoverable streaming execution.
 
@@ -357,6 +474,7 @@ class Executor:
             instrumentation=instrumentation,
             diagnostics=diagnostics,
             stop=stop,
+            trace=trace,
         )
         columns = [
             item.output_name(position)
@@ -370,7 +488,11 @@ class Executor:
 
     # ------------------------------------------------------------------
 
-    def _analyze_and_compile(self, query: Union[str, ast.Query]) -> _CachedPlan:
+    def _analyze_and_compile(
+        self,
+        query: Union[str, ast.Query],
+        diagnostics: Optional[Diagnostics] = None,
+    ) -> _CachedPlan:
         """Parse/analyze/compile a query, memoized in the LRU plan cache.
 
         Only string queries are cached (the text plus the domains
@@ -381,6 +503,11 @@ class Executor:
         :class:`PlanningError` alongside a degraded placeholder plan, and
         the caller decides whether to raise or degrade.  Syntax and
         semantic errors always raise and are never cached.
+
+        Keyed lookups feed two observers: the process-lifetime hit/miss
+        counters on :attr:`metrics`, and (when ``diagnostics`` is given)
+        the per-execution :meth:`Diagnostics.record_plan_cache` counts.
+        Bypass paths record nothing anywhere.
         """
         key = None
         if isinstance(query, str) and self._plan_cache_size > 0:
@@ -389,9 +516,13 @@ class Executor:
                 entry = self._plan_cache.get(key)
                 if entry is not None:
                     self._plan_cache.move_to_end(key)
-                    self.plan_cache_hits += 1
+                    self._plan_cache_hit_counter.inc()
+                    if diagnostics is not None:
+                        diagnostics.record_plan_cache(hit=True)
                     return entry
-                self.plan_cache_misses += 1
+                self._plan_cache_miss_counter.inc()
+                if diagnostics is not None:
+                    diagnostics.record_plan_cache(hit=False)
         parsed = parse_query(query) if isinstance(query, str) else query
         analyzed = analyze(parsed, self._domains)
         try:
@@ -427,7 +558,7 @@ class Executor:
         diagnostic is re-recorded on every execution, including plan-cache
         hits — diagnostics belong to the execution, not the plan.
         """
-        entry = self._analyze_and_compile(query)
+        entry = self._analyze_and_compile(query, diagnostics)
         if entry.planning_error is not None:
             if not self._policy.lenient or self._fallback is None:
                 raise entry.planning_error
@@ -599,6 +730,40 @@ def _stream_rows(
                         "by a stream-buffer restart); emitting NULL"
                     )
         yield match.end, tuple(values)
+
+
+def _cluster_label(key) -> str:
+    """A short, stable label for one cluster's CLUSTER BY key."""
+    if key == ():
+        return "(all)"
+    if isinstance(key, tuple) and len(key) == 1:
+        return str(key[0])
+    return str(key)
+
+
+def _annotate_plan_span(
+    plan_span, diagnostics: Diagnostics, matcher_name: str,
+    compiled: CompiledPattern,
+) -> None:
+    """Fold the planning outcome into the plan span's attributes."""
+    if diagnostics.plan_cache_hits:
+        cache = "hit"
+    elif diagnostics.plan_cache_misses:
+        cache = "miss"
+    else:
+        cache = "bypass"
+    plan_span.annotate(
+        cache=cache,
+        matcher=matcher_name,
+        degraded=diagnostics.degraded,
+    )
+    fused = sum(
+        1
+        for evaluator in compiled.evaluators
+        if evaluator is not None and getattr(evaluator, "band_fused", False)
+    )
+    if fused:
+        plan_span.annotate(band_fused_elements=fused)
 
 
 def _resolve_matcher(matcher: Union[str, Matcher]) -> tuple[str, Matcher]:

@@ -64,6 +64,7 @@ from repro.engine.cluster import clusters_of
 from repro.engine.executor import (
     MATCHERS,
     ExecutionReport,
+    _annotate_plan_span,
     _cluster_passes,
     _project,
     search_rows,
@@ -78,6 +79,7 @@ from repro.errors import (
     SemanticError,
 )
 from repro.match.base import Instrumentation
+from repro.obs import QueryProfile, Trace
 from repro.pattern.compiler import compile_pattern, degraded_pattern
 from repro.pattern.predicates import AttributeDomains
 from repro.resilience import Budget, Diagnostics, ErrorPolicy, ResourceLimits
@@ -185,6 +187,10 @@ class _WorkerPlan:
     policy: ErrorPolicy
     fallback: Optional[str]
     record_trace: bool
+    # Flight-recorder mode: workers time each unit/partition and report
+    # serialized span dicts (durations only — perf_counter origins do
+    # not align across processes) for the parent to graft into its Trace.
+    record_spans: bool = False
 
 
 def _run_unit(
@@ -220,10 +226,16 @@ def _run_unit(
     outcomes: list[dict] = []
     error: Optional[tuple[int, str, str]] = None
     error_obj: Optional[BaseException] = None
+    record_spans = plan.record_spans
+    partition_spans: list[dict] = []
+    unit_started = time.perf_counter() if record_spans else 0.0
     for partition_index, rows in partitions:
         if budget is not None and budget.tripped is not None:
             break
         instrumentation = Instrumentation(record_trace=plan.record_trace)
+        if record_spans:
+            instrumentation.enable_detail()
+            partition_started = time.perf_counter()
         diagnostics = Diagnostics()
         try:
             matches, matcher_name, matcher = search_rows(
@@ -247,17 +259,45 @@ def _run_unit(
                 "partition": partition_index,
                 "rows": projected,
                 "tests": instrumentation.tests,
+                "skips": instrumentation.skips,
+                "skip_distance": instrumentation.skip_distance,
+                "tests_by_element": instrumentation.tests_by_element,
                 "trace": instrumentation.trace,
                 "matcher": matcher_name,
                 "downgrades": list(diagnostics.downgrades),
             }
         )
+        if record_spans:
+            partition_spans.append(
+                {
+                    "name": "cluster",
+                    "duration_s": time.perf_counter() - partition_started,
+                    "attrs": {
+                        "partition": partition_index,
+                        "rows": len(rows),
+                        "tests": instrumentation.tests,
+                        "matches": len(matches),
+                        "matcher": matcher_name,
+                    },
+                    "children": [],
+                }
+            )
     return {
         "unit": unit_index,
         "partitions": outcomes,
         "limits_hit": list(unit_diagnostics.limits_hit),
         "error": error,
         "error_obj": error_obj,
+        "span": (
+            {
+                "name": "unit",
+                "duration_s": time.perf_counter() - unit_started,
+                "attrs": {"unit": unit_index},
+                "children": partition_spans,
+            }
+            if record_spans
+            else None
+        ),
     }
 
 
@@ -287,6 +327,7 @@ def _plan_from_payload(payload: dict) -> _WorkerPlan:
         policy=ErrorPolicy.coerce(payload["policy"]),
         fallback=payload["fallback"],
         record_trace=payload["record_trace"],
+        record_spans=payload.get("record_spans", False),
     )
 
 
@@ -460,6 +501,7 @@ def execute_parallel(
     mode: str = "auto",
     limits: Optional[ResourceLimits] = None,
     cancel=None,
+    trace: Optional[Trace] = None,
 ) -> tuple[Result, ExecutionReport]:
     """Execute ``query`` with partition-parallel workers.
 
@@ -472,9 +514,61 @@ def execute_parallel(
     a cooperative cancellation hook consulted by the parent budget
     during admission and harvest; dispatched workers stop on their own
     deadlines, so cancellation of in-flight units is best-effort.
+
+    ``trace`` turns on the flight recorder: the parent spans planning,
+    admission, and the pool phase, workers report per-unit span dicts
+    (see :class:`_WorkerPlan.record_spans`), and the merged result
+    carries a :class:`~repro.obs.QueryProfile`.
     """
+    if trace is None:
+        return _parallel_pass(
+            executor,
+            query,
+            instrumentation,
+            workers=workers,
+            mode=mode,
+            limits=limits,
+            cancel=cancel,
+            trace=None,
+        )
+    with trace.span("execute", mode="parallel") as root:
+        result, report = _parallel_pass(
+            executor,
+            query,
+            instrumentation,
+            workers=workers,
+            mode=mode,
+            limits=limits,
+            cancel=cancel,
+            trace=trace,
+        )
+    root.annotate(
+        matcher=report.matcher,
+        matches=report.matches,
+        rows_scanned=report.rows_scanned,
+        tests=report.predicate_tests,
+    )
+    result.profile = QueryProfile(trace, report)
+    return result, report
+
+
+def _parallel_pass(
+    executor,
+    query: Union[str, ast.Query],
+    instrumentation: Optional[Instrumentation] = None,
+    *,
+    workers: int,
+    mode: str = "auto",
+    limits: Optional[ResourceLimits] = None,
+    cancel=None,
+    trace: Optional[Trace] = None,
+) -> tuple[Result, ExecutionReport]:
     diagnostics = Diagnostics()
-    entry = executor._analyze_and_compile(query)
+    if trace is not None:
+        with trace.span("plan") as plan_span:
+            entry = executor._analyze_and_compile(query, diagnostics)
+    else:
+        entry = executor._analyze_and_compile(query, diagnostics)
     if entry.planning_error is not None:
         if not executor._policy.lenient or executor._fallback is None:
             raise entry.planning_error
@@ -485,6 +579,8 @@ def execute_parallel(
         matcher_name = executor._matcher_name
         degraded = False
     analyzed, compiled = entry.analyzed, entry.compiled
+    if trace is not None:
+        _annotate_plan_span(plan_span, diagnostics, matcher_name, compiled)
 
     if matcher_name not in MATCHERS:
         # A custom matcher instance has no registry constructor workers
@@ -499,6 +595,8 @@ def execute_parallel(
     instrumentation = (
         instrumentation if instrumentation is not None else Instrumentation()
     )
+    if trace is not None:
+        instrumentation.enable_detail()
     limits = limits if limits is not None else executor._limits
     budget = (
         Budget(limits, diagnostics, cancel=cancel)
@@ -524,23 +622,36 @@ def execute_parallel(
     clusters = 0
     searched = 0
     scanned = 0
-    for key, rows in clusters_of(
-        table,
-        analyzed.cluster_by,
-        analyzed.sequence_by,
-        policy=executor._policy,
-        diagnostics=diagnostics,
-    ):
-        clusters += 1
-        if budget is not None and budget.check_deadline():
-            break
-        if not _cluster_passes(analyzed, rows):
-            continue
-        if budget is not None and budget.add_rows(len(rows)):
-            break
-        searched += 1
-        scanned += len(rows)
-        admitted.append(Partition(index=len(admitted), key=key, rows=rows))
+    admit_span = None
+    if trace is not None:
+        admit_cm = trace.span("scan")
+        admit_span = admit_cm.__enter__()
+    try:
+        for key, rows in clusters_of(
+            table,
+            analyzed.cluster_by,
+            analyzed.sequence_by,
+            policy=executor._policy,
+            diagnostics=diagnostics,
+        ):
+            clusters += 1
+            if budget is not None and budget.check_deadline():
+                break
+            if not _cluster_passes(analyzed, rows):
+                continue
+            if budget is not None and budget.add_rows(len(rows)):
+                break
+            searched += 1
+            scanned += len(rows)
+            admitted.append(Partition(index=len(admitted), key=key, rows=rows))
+    finally:
+        if admit_span is not None:
+            admit_cm.__exit__(None, None, None)
+            admit_span.annotate(
+                clusters=clusters,
+                clusters_searched=searched,
+                rows_scanned=scanned,
+            )
 
     # Phase 2 — dispatch.
     plan = _WorkerPlan(
@@ -550,46 +661,66 @@ def execute_parallel(
         policy=executor._policy,
         fallback=executor._fallback,
         record_trace=instrumentation.trace is not None,
+        record_spans=trace is not None,
     )
     units = split_partitions(admitted, workers)
     max_matches = limits.max_matches
     resolved_mode = _resolve_mode(mode, query)
-    if len(units) <= 1:
-        # One unit (or none) cannot use a pool; run it in-line through
-        # the identical worker code path.
-        outcome_by_unit = index_outcomes(
-            _run_unit(
-                plan,
-                unit.index,
-                [(p.index, p.rows) for p in unit.partitions],
-                _remaining(deadline_end),
-                max_matches,
+    pool_span = None
+    if trace is not None:
+        pool_cm = trace.span("parallel")
+        pool_span = pool_cm.__enter__()
+    try:
+        if len(units) <= 1:
+            # One unit (or none) cannot use a pool; run it in-line through
+            # the identical worker code path.
+            outcome_by_unit = index_outcomes(
+                _run_unit(
+                    plan,
+                    unit.index,
+                    [(p.index, p.rows) for p in unit.partitions],
+                    _remaining(deadline_end),
+                    max_matches,
+                )
+                for unit in units
             )
-            for unit in units
-        )
-    else:
-        payload = None
-        if resolved_mode == "process":
-            payload = {
-                "query": query,
-                "positive": executor._domains.fingerprint(),
-                "codegen": executor._codegen,
-                "degraded": degraded,
-                "matcher": matcher_name,
-                "fallback": executor._fallback,
-                "policy": executor._policy.value,
-                "record_trace": plan.record_trace,
-            }
-        outcome_by_unit = _run_units_pooled(
-            plan,
-            units,
-            workers,
-            resolved_mode,
-            payload,
-            deadline_end,
-            max_matches,
-            budget,
-        )
+        else:
+            payload = None
+            if resolved_mode == "process":
+                payload = {
+                    "query": query,
+                    "positive": executor._domains.fingerprint(),
+                    "codegen": executor._codegen,
+                    "degraded": degraded,
+                    "matcher": matcher_name,
+                    "fallback": executor._fallback,
+                    "policy": executor._policy.value,
+                    "record_trace": plan.record_trace,
+                    "record_spans": plan.record_spans,
+                }
+            outcome_by_unit = _run_units_pooled(
+                plan,
+                units,
+                workers,
+                resolved_mode,
+                payload,
+                deadline_end,
+                max_matches,
+                budget,
+            )
+    finally:
+        if pool_span is not None:
+            pool_cm.__exit__(None, None, None)
+            pool_span.annotate(
+                mode=resolved_mode, workers=workers, units=len(units)
+            )
+    if trace is not None:
+        # Graft the per-unit span trees the workers reported (duration
+        # only — their clock origins are not ours) under the pool span.
+        for unit_index in sorted(outcome_by_unit):
+            span_payload = outcome_by_unit[unit_index].get("span")
+            if span_payload:
+                trace.attach(pool_span, span_payload)
 
     # Phase 3 — deterministic earliest-error selection.  The serial loop
     # surfaces the first failing partition; completed siblings are
@@ -615,6 +746,14 @@ def execute_parallel(
     capped = False
     for outcome in ordered_partition_outcomes(outcome_by_unit):
         instrumentation.tests += outcome["tests"]
+        instrumentation.skips += outcome.get("skips", 0)
+        instrumentation.skip_distance += outcome.get("skip_distance", 0)
+        detail = outcome.get("tests_by_element")
+        if detail and instrumentation.tests_by_element is not None:
+            for position, count in detail.items():
+                instrumentation.tests_by_element[position] = (
+                    instrumentation.tests_by_element.get(position, 0) + count
+                )
         if instrumentation.trace is not None and outcome["trace"]:
             instrumentation.trace.extend(outcome["trace"])
         if outcome["matcher"] != matcher_name:

@@ -17,10 +17,13 @@ class Result:
     ``diagnostics`` records anything the producing execution skipped,
     downgraded, or cut short (see :mod:`repro.resilience`); it is
     informational and excluded from equality/hashing, so result
-    comparisons keep their relational meaning.
+    comparisons keep their relational meaning.  ``profile`` is the
+    EXPLAIN ANALYZE-style :class:`~repro.obs.QueryProfile` of a traced
+    execution (None on untraced runs) — likewise informational and
+    excluded from equality.
     """
 
-    __slots__ = ("columns", "rows", "diagnostics")
+    __slots__ = ("columns", "rows", "diagnostics", "profile")
 
     def __init__(
         self,
@@ -31,6 +34,7 @@ class Result:
         self.columns = tuple(columns)
         self.rows = tuple(tuple(row) for row in rows)
         self.diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+        self.profile = None
         for row in self.rows:
             if len(row) != len(self.columns):
                 raise ValueError(

@@ -80,6 +80,7 @@ class Session:
         limits: Optional[ResourceLimits] = None,
         workers: Optional[int] = None,
         cancel=None,
+        trace=None,
     ) -> Optional[Result]:
         """Execute one statement; queries return a Result, DDL/DML None.
 
@@ -87,7 +88,10 @@ class Session:
         executor configuration for this statement only (see
         :meth:`repro.engine.executor.Executor.execute_with_report`) —
         the serving layer uses them to apply per-tenant quotas and
-        cooperative cancellation over one shared session.
+        cooperative cancellation over one shared session.  ``trace``
+        (a :class:`~repro.obs.Trace`) turns on the flight recorder for
+        a query statement; the returned ``Result`` then carries a
+        ``profile``.
         """
         kind = statement_kind(statement)
         if kind == "create":
@@ -97,7 +101,12 @@ class Session:
             self._insert(statement)
             return None
         result = self._executor.execute(
-            statement, instrumentation, limits=limits, workers=workers, cancel=cancel
+            statement,
+            instrumentation,
+            limits=limits,
+            workers=workers,
+            cancel=cancel,
+            trace=trace,
         )
         self.diagnostics.merge(result.diagnostics)
         return result
@@ -144,6 +153,7 @@ class Session:
         overflow: str = "raise",
         instrumentation: Optional[Instrumentation] = None,
         stop=None,
+        trace=None,
     ):
         """Plan a crash-recoverable streaming query (see Executor.stream).
 
@@ -164,6 +174,7 @@ class Session:
             instrumentation=instrumentation,
             diagnostics=self.diagnostics,
             stop=stop,
+            trace=trace,
         )
 
     def load_csv(

@@ -58,23 +58,55 @@ class Instrumentation:
 
     ``trace`` entries are 1-based ``(i, j)`` pairs to match the paper's
     Figure 5 axes.
+
+    ``skips``/``skip_distance`` measure the paper's optimization itself:
+    every time a matcher applies its shift/next tables after a mismatch,
+    it records how many input positions the attempt origin advanced —
+    the work the naive restart strategy would have redone.  These are
+    plain int adds on the (cold) mismatch path, so they are always on.
+
+    ``tests_by_element`` is the opt-in detail mode the flight recorder
+    uses (:meth:`enable_detail`): per pattern position j, how many tests
+    it absorbed — which is what lets a query profile attribute predicate
+    work to individual pattern elements (and to the band-fused ones).
+    It costs one dict update per test, so it stays off outside traced
+    runs; the aggregate ``tests`` counter is untouched either way.
     """
 
-    __slots__ = ("tests", "trace")
+    __slots__ = ("tests", "trace", "skips", "skip_distance", "tests_by_element")
 
     def __init__(self, record_trace: bool = False):
         self.tests = 0
         self.trace: Optional[list[tuple[int, int]]] = [] if record_trace else None
+        self.skips = 0
+        self.skip_distance = 0
+        self.tests_by_element: Optional[dict[int, int]] = None
+
+    def enable_detail(self) -> None:
+        """Start attributing tests to pattern positions (profile mode)."""
+        if self.tests_by_element is None:
+            self.tests_by_element = {}
 
     def record(self, input_index: int, pattern_position: int) -> None:
         """Note one test of input position (0-based) against element j (1-based)."""
         self.tests += 1
         if self.trace is not None:
             self.trace.append((input_index + 1, pattern_position))
+        if self.tests_by_element is not None:
+            self.tests_by_element[pattern_position] = (
+                self.tests_by_element.get(pattern_position, 0) + 1
+            )
+
+    def record_skip(self, distance: int) -> None:
+        """Note one shift/next application advancing the attempt origin
+        by ``distance`` input positions (0 = re-anchor in place)."""
+        self.skips += 1
+        self.skip_distance += distance
 
     def __repr__(self) -> str:
         traced = f", trace[{len(self.trace)}]" if self.trace is not None else ""
-        return f"Instrumentation(tests={self.tests}{traced})"
+        skipped = f", skips={self.skips}" if self.skips else ""
+        return f"Instrumentation(tests={self.tests}{skipped}{traced})"
 
 
 class Matcher(Protocol):

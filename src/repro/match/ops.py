@@ -56,6 +56,9 @@ class OpsMatcher:
         # The paper indexes from 1; we keep j 1-based and translate i to
         # 0-based at the single point of evaluation.
         record = instrumentation.record if instrumentation is not None else None
+        record_skip = (
+            instrumentation.record_skip if instrumentation is not None else None
+        )
         i = 1
         j = 1
         while j <= m and i <= n:
@@ -74,6 +77,11 @@ class OpsMatcher:
                     )
                 if satisfied:
                     break
+                if record_skip is not None:
+                    # The attempt origin advances by exactly shift(j)
+                    # input positions — the work a restart matcher would
+                    # redo (mismatch path only, never per test).
+                    record_skip(shift[j])
                 i = i - j + shift[j] + next_[j]
                 j = next_[j]
                 if i > n:

@@ -226,10 +226,16 @@ class _Run:
         nx = self.next_[j]
         if nx == 0:
             # shift(j) = j: the failed tuple provably cannot start a match.
+            if self.instrumentation is not None:
+                self.instrumentation.record_skip(
+                    self.i + 1 - self.attempt_start
+                )
             self._reset_attempt(self.i + 1)
             return
         sh = self.shift[j]
         consumed_by_shift = self.counts[sh]
+        if self.instrumentation is not None:
+            self.instrumentation.record_skip(consumed_by_shift)
         new_start = self.attempt_start + consumed_by_shift
         new_counts = [0] * (self.m + 1)
         new_spans: list[Span] = []

@@ -1,0 +1,435 @@
+"""A zero-dependency, thread-safe metrics registry.
+
+The engine's flight recorder needs three primitive shapes — monotonic
+**counters** (plan-cache hits, rejections by code), point-in-time
+**gauges** (in-flight requests, queue depth), and **histograms** with
+fixed bucket boundaries (request latency) — and two read views: a
+Prometheus-style text exposition for scrapers and a JSON snapshot for
+the ``stats`` RPC and bench artefacts.  Everything here is stdlib-only
+on purpose: the repo's hard constraint is no third-party dependencies,
+and the hot-path cost of an un-observed metric must be zero (metrics
+are only touched at operation boundaries, never inside matcher inner
+loops — those are covered by :mod:`repro.obs.trace` spans and the
+paper's :class:`~repro.match.base.Instrumentation` counters).
+
+Metrics are *families*: a name plus a fixed tuple of label names, with
+one child per label-value combination.  Unlabeled metrics are the
+degenerate single-child family and expose ``inc``/``set``/``observe``
+directly::
+
+    registry = MetricsRegistry()
+    hits = registry.counter("repro_plan_cache_hits_total", "Plan cache hits")
+    hits.inc()
+    rejections = registry.counter(
+        "repro_serve_rejections_total", "Rejections", labelnames=("tenant", "code")
+    )
+    rejections.labels(tenant="a", code="backpressure").inc()
+    print(registry.expose())
+
+Exposition output is deterministic (families sorted by name, children
+by label values), which is what makes the golden-file test in
+``tests/obs/`` possible.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+import threading
+from typing import Mapping, Optional, Sequence, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram boundaries, in seconds: spanning sub-millisecond
+#: matcher calls up to multi-second analytical queries.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integral floats print as integers."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r"\"")
+    )
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+class _Child:
+    """Shared plumbing: every concrete metric child carries its family's
+    name, its own label values, and a lock."""
+
+    __slots__ = ("_lock", "labels_map")
+
+    def __init__(self, labels_map: Mapping[str, str]):
+        self._lock = threading.Lock()
+        self.labels_map = dict(labels_map)
+
+
+class _CounterChild(_Child):
+    __slots__ = ("_value",)
+
+    def __init__(self, labels_map: Mapping[str, str]):
+        super().__init__(labels_map)
+        self._value = 0.0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class _GaugeChild(_Child):
+    __slots__ = ("_value",)
+
+    def __init__(self, labels_map: Mapping[str, str]):
+        super().__init__(labels_map)
+        self._value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class _HistogramChild(_Child):
+    __slots__ = ("boundaries", "_counts", "_sum", "_count")
+
+    def __init__(self, labels_map: Mapping[str, str], boundaries: Sequence[float]):
+        super().__init__(labels_map)
+        self.boundaries = tuple(boundaries)
+        self._counts = [0] * (len(self.boundaries) + 1)  # last = +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: Union[int, float]) -> None:
+        index = bisect.bisect_left(self.boundaries, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs ending at +Inf."""
+        with self._lock:
+            counts = list(self._counts)
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for boundary, count in zip(self.boundaries, counts):
+            running += count
+            pairs.append((boundary, running))
+        pairs.append((float("inf"), running + counts[-1]))
+        return pairs
+
+
+class _Family:
+    """One named metric family: fixed label names, children per value
+    combination.  The unlabeled family delegates to its single child so
+    ``registry.counter("x").inc()`` just works."""
+
+    kind = "untyped"
+    child_cls: type = _Child
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str]):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"bad metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"bad label name {label!r} on {name!r}")
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], _Child] = {}
+        if not self.labelnames:
+            self._default = self._make_child({})
+            self._children[()] = self._default
+        else:
+            self._default = None
+
+    def _make_child(self, labels_map: Mapping[str, str]) -> _Child:
+        return self.child_cls(labels_map)
+
+    def labels(self, **labelvalues: str) -> _Child:
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child(dict(zip(self.labelnames, key)))
+                self._children[key] = child
+            return child
+
+    def children(self) -> list[_Child]:
+        with self._lock:
+            return [self._children[key] for key in sorted(self._children)]
+
+    # Unlabeled convenience delegation -------------------------------
+
+    def _single(self) -> _Child:
+        if self._default is None:
+            raise ValueError(
+                f"{self.name} is labeled {self.labelnames}; call .labels() first"
+            )
+        return self._default
+
+
+class CounterFamily(_Family):
+    kind = "counter"
+    child_cls = _CounterChild
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self._single().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._single().value
+
+
+class GaugeFamily(_Family):
+    kind = "gauge"
+    child_cls = _GaugeChild
+
+    def set(self, value: Union[int, float]) -> None:
+        self._single().set(value)
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self._single().inc(amount)
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        self._single().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._single().value
+
+
+class HistogramFamily(_Family):
+    kind = "histogram"
+    child_cls = _HistogramChild
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float],
+    ):
+        boundaries = tuple(float(b) for b in buckets)
+        if not boundaries:
+            raise ValueError(f"{name}: histogram needs at least one bucket")
+        if list(boundaries) != sorted(set(boundaries)):
+            raise ValueError(
+                f"{name}: bucket boundaries must be strictly increasing, "
+                f"got {boundaries}"
+            )
+        self.boundaries = boundaries
+        super().__init__(name, help_text, labelnames)
+
+    def _make_child(self, labels_map: Mapping[str, str]) -> _HistogramChild:
+        return _HistogramChild(labels_map, self.boundaries)
+
+    def observe(self, value: Union[int, float]) -> None:
+        self._single().observe(value)
+
+    @property
+    def count(self) -> int:
+        return self._single().count
+
+    @property
+    def sum(self) -> float:
+        return self._single().sum
+
+
+#: Public aliases: the names callers type.
+Counter = CounterFamily
+Gauge = GaugeFamily
+Histogram = HistogramFamily
+
+
+class MetricsRegistry:
+    """Get-or-create metric families; render exposition and snapshots.
+
+    Get-or-create is idempotent per name — asking again with the same
+    kind returns the existing family (so independently constructed
+    components can share one registry without coordination), while a
+    kind or label mismatch raises loudly instead of silently forking
+    the time series.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    def _get_or_create(self, cls, name, help_text, labelnames, **kwargs):
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                if existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.labelnames}, not {tuple(labelnames)}"
+                    )
+                return existing
+            family = cls(name, help_text, labelnames, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> CounterFamily:
+        return self._get_or_create(CounterFamily, name, help_text, labelnames)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> GaugeFamily:
+        return self._get_or_create(GaugeFamily, name, help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> HistogramFamily:
+        return self._get_or_create(
+            HistogramFamily, name, help_text, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Family]:
+        with self._lock:
+            return self._families.get(name)
+
+    # -- read views -----------------------------------------------------
+
+    def expose(self) -> str:
+        """Prometheus text exposition format, deterministically ordered."""
+        lines: list[str] = []
+        with self._lock:
+            families = [self._families[name] for name in sorted(self._families)]
+        for family in families:
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for child in family.children():
+                labels = child.labels_map
+                if isinstance(child, _HistogramChild):
+                    for boundary, cumulative in child.cumulative():
+                        bucket_labels = dict(labels)
+                        bucket_labels["le"] = _format_value(boundary)
+                        lines.append(
+                            f"{family.name}_bucket"
+                            f"{_render_labels(bucket_labels)} {cumulative}"
+                        )
+                    lines.append(
+                        f"{family.name}_sum{_render_labels(labels)} "
+                        f"{_format_value(child.sum)}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{_render_labels(labels)} "
+                        f"{child.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{family.name}{_render_labels(labels)} "
+                        f"{_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view: family -> samples with labels and values."""
+        result: dict[str, dict] = {}
+        with self._lock:
+            families = [self._families[name] for name in sorted(self._families)]
+        for family in families:
+            samples: list[dict] = []
+            for child in family.children():
+                if isinstance(child, _HistogramChild):
+                    samples.append(
+                        {
+                            "labels": dict(child.labels_map),
+                            "buckets": {
+                                _format_value(boundary): cumulative
+                                for boundary, cumulative in child.cumulative()
+                            },
+                            "sum": child.sum,
+                            "count": child.count,
+                        }
+                    )
+                else:
+                    samples.append(
+                        {
+                            "labels": dict(child.labels_map),
+                            "value": child.value,
+                        }
+                    )
+            result[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "samples": samples,
+            }
+        return result

@@ -1,0 +1,83 @@
+"""Structured slow-query logging: JSON lines past a latency threshold.
+
+The serving layer's third observability surface (after the metrics
+registry and per-query traces): queries slower than a configurable
+threshold are appended — one JSON object per line, thread-safely — to
+a file or stream, carrying everything an operator needs to reproduce
+the query (tenant, SQL, elapsed, rows, matches, whether a limit cut it
+short).  Timestamps are wall-clock ISO-8601 UTC because the log is for
+humans correlating with external events; *uptime and deadlines* in the
+server itself stay monotonic (see ``QueryServer``).
+
+The log never raises into the request path: a full disk or closed sink
+increments :attr:`write_errors` and drops the entry — losing a log
+line must not fail a query that already succeeded.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import threading
+from typing import IO, Optional, Union
+
+__all__ = ["SlowQueryLog"]
+
+#: Default threshold when a sink is configured without one (seconds).
+DEFAULT_THRESHOLD_S = 1.0
+
+#: SQL longer than this is truncated in log entries (the full text is
+#: the client's to keep; the log needs enough to identify the query).
+_SQL_SNIPPET_CHARS = 500
+
+
+class SlowQueryLog:
+    """Threshold-gated, thread-safe JSON-lines sink for slow queries."""
+
+    def __init__(
+        self,
+        sink: Union[str, IO[str]],
+        threshold_s: float = DEFAULT_THRESHOLD_S,
+    ):
+        if threshold_s < 0:
+            raise ValueError(
+                f"threshold_s must be non-negative, got {threshold_s}"
+            )
+        self.threshold_s = threshold_s
+        self.entries_written = 0
+        self.write_errors = 0
+        self._lock = threading.Lock()
+        if isinstance(sink, (str, bytes)) or hasattr(sink, "__fspath__"):
+            self._path: Optional[str] = str(sink)
+            self._stream: Optional[IO[str]] = None
+        else:
+            self._path = None
+            self._stream = sink
+
+    def maybe_record(self, *, elapsed_s: float, sql: str = "", **fields) -> bool:
+        """Record one query if it crossed the threshold; True if written."""
+        if elapsed_s < self.threshold_s:
+            return False
+        entry = {
+            "ts": _dt.datetime.now(_dt.timezone.utc).isoformat(
+                timespec="milliseconds"
+            ),
+            "elapsed_ms": round(elapsed_s * 1000.0, 3),
+            "threshold_ms": round(self.threshold_s * 1000.0, 3),
+            "sql": sql[:_SQL_SNIPPET_CHARS],
+        }
+        entry.update(fields)
+        line = json.dumps(entry, sort_keys=True, default=str)
+        with self._lock:
+            try:
+                if self._stream is not None:
+                    self._stream.write(line + "\n")
+                    self._stream.flush()
+                else:
+                    with open(self._path, "a") as handle:
+                        handle.write(line + "\n")
+            except Exception:  # noqa: BLE001 - logging must not fail queries
+                self.write_errors += 1
+                return False
+            self.entries_written += 1
+            return True

@@ -249,6 +249,9 @@ def _fuse_comparisons(
         rhs_2 = ra_2 * (value_a if right_2_is_a else value_b) + rb_2
         return holds_2(lhs_2, rhs_2)
 
+    # Marker the flight recorder reads to attribute band fusion per
+    # element in query profiles; no effect on evaluation.
+    evaluate.band_fused = True
     return evaluate
 
 

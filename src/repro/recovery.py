@@ -458,6 +458,7 @@ class RecoveringStreamRunner:
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
         stop: Optional[Callable[[], Optional[str]]] = None,
+        trace=None,
     ):
         self._pattern = pattern
         self._source_factory = source_factory
@@ -475,6 +476,9 @@ class RecoveringStreamRunner:
         self._clock = clock
         self._sleep = sleep
         self._stop = stop
+        # Optional flight-recorder trace (repro.obs.Trace): checkpoint
+        # writes and restores get spans; None costs nothing.
+        self._trace = trace
         self.matcher: Optional[OpsStreamMatcher] = None
         self.source_offset = 0
 
@@ -492,6 +496,14 @@ class RecoveringStreamRunner:
         )
 
     def _restore(self) -> Tuple[OpsStreamMatcher, int]:
+        if self._trace is not None:
+            with self._trace.span("checkpoint.restore") as span:
+                matcher, offset = self._restore_inner()
+            span.annotate(offset=offset)
+            return matcher, offset
+        return self._restore_inner()
+
+    def _restore_inner(self) -> Tuple[OpsStreamMatcher, int]:
         assert self._store is not None
         state = self._store.load(diagnostics=self.diagnostics)
         if not isinstance(state, RunnerCheckpoint):
@@ -516,6 +528,15 @@ class RecoveringStreamRunner:
         if self._store is None:
             return
         assert self.matcher is not None
+        if self._trace is not None:
+            with self._trace.span(
+                "checkpoint.write", offset=self.source_offset
+            ):
+                self._checkpoint_inner()
+            return
+        self._checkpoint_inner()
+
+    def _checkpoint_inner(self) -> None:
         self._store.save(
             RunnerCheckpoint(
                 source_offset=self.source_offset,

@@ -166,6 +166,8 @@ class Diagnostics:
         "checkpoints_restored",
         "duplicates_suppressed",
         "dropped_regions",
+        "plan_cache_hits",
+        "plan_cache_misses",
         "_lock",
     )
 
@@ -183,6 +185,10 @@ class Diagnostics:
         self.checkpoints_restored = 0
         self.duplicates_suppressed = 0
         self.dropped_regions = 0
+        # Plan-cache traffic for this execution (0 or 1 of each per query;
+        # both stay 0 on cache-bypass paths).  Counts, not failures.
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     # -- recording ------------------------------------------------------
 
@@ -233,6 +239,14 @@ class Diagnostics:
         with self._lock:
             self.dropped_regions += 1
 
+    def record_plan_cache(self, hit: bool) -> None:
+        """One keyed plan-cache lookup (bypass paths record nothing)."""
+        with self._lock:
+            if hit:
+                self.plan_cache_hits += 1
+            else:
+                self.plan_cache_misses += 1
+
     def merge(self, other: "Diagnostics") -> None:
         """Fold another diagnostics record into this one (atomically)."""
         with self._lock:
@@ -246,6 +260,8 @@ class Diagnostics:
             self.checkpoints_restored += other.checkpoints_restored
             self.duplicates_suppressed += other.duplicates_suppressed
             self.dropped_regions += other.dropped_regions
+            self.plan_cache_hits += other.plan_cache_hits
+            self.plan_cache_misses += other.plan_cache_misses
 
     # -- inspection -----------------------------------------------------
 
@@ -288,6 +304,8 @@ class Diagnostics:
                 "checkpoints_restored": self.checkpoints_restored,
                 "duplicates_suppressed": self.duplicates_suppressed,
                 "dropped_regions": self.dropped_regions,
+                "plan_cache_hits": self.plan_cache_hits,
+                "plan_cache_misses": self.plan_cache_misses,
             },
             "warnings": list(self.warnings),
             "quarantined": [
@@ -340,6 +358,8 @@ class Diagnostics:
             counters.get("duplicates_suppressed", 0)
         )
         diagnostics.dropped_regions = int(counters.get("dropped_regions", 0))
+        diagnostics.plan_cache_hits = int(counters.get("plan_cache_hits", 0))
+        diagnostics.plan_cache_misses = int(counters.get("plan_cache_misses", 0))
         return diagnostics
 
     def summary(self) -> str:

@@ -125,6 +125,10 @@ class ServeClient:
     def stats(self) -> dict:
         return self.request("stats")["stats"]
 
+    def metrics(self) -> str:
+        """The server's metrics registry in Prometheus text form."""
+        return self.request("metrics")["metrics"]
+
     def shutdown(self) -> dict:
         """Ask the server to drain (needs ``allow_remote_shutdown``)."""
         return self.request("shutdown")

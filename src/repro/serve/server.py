@@ -55,6 +55,7 @@ from typing import Any, Callable, Mapping, Optional
 from repro.engine.catalog import Catalog
 from repro.engine.executor import Executor
 from repro.errors import ExecutionError, ReproError
+from repro.obs import MetricsRegistry, SlowQueryLog
 from repro.pattern.predicates import AttributeDomains
 from repro.recovery import CheckpointPolicy, CheckpointStore, RunnerCheckpoint
 from repro.resilience import CancelToken, Diagnostics
@@ -134,18 +135,23 @@ class QueryServer:
         port: int = 0,
         allow_remote_shutdown: bool = False,
         fault_injector: Optional[Callable[[str, str, str], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        slow_query_threshold: float = 1.0,
+        slow_query_log: Optional[object] = None,
     ):
         if pool_workers < 1:
             raise ExecutionError(
                 f"pool_workers must be positive, got {pool_workers}"
             )
         self._catalog = catalog
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._executor = Executor(
             catalog,
             domains=domains,
             matcher=matcher,
             policy=policy,
             parallel_mode=parallel_mode,
+            metrics=self.metrics,
         )
         self._query_workers = query_workers
         self._admission = AdmissionController(
@@ -164,6 +170,25 @@ class QueryServer:
         self._port = port
         self._allow_remote_shutdown = allow_remote_shutdown
         self._fault_injector = fault_injector
+        self._slow_log = (
+            SlowQueryLog(slow_query_log, threshold_s=slow_query_threshold)
+            if slow_query_log is not None
+            else None
+        )
+        self._requests_counter = self.metrics.counter(
+            "repro_serve_requests_total",
+            "Requests dispatched, by protocol op.",
+            labelnames=("op",),
+        )
+        self._rejections_counter = self.metrics.counter(
+            "repro_serve_rejections_total",
+            "Structured admission refusals, by tenant and error code.",
+            labelnames=("tenant", "code"),
+        )
+        self._slow_queries_counter = self.metrics.counter(
+            "repro_serve_slow_queries_total",
+            "Queries whose wall time crossed the slow-query threshold.",
+        )
 
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -171,9 +196,13 @@ class QueryServer:
         self._inflight = 0
         self._active_tokens: set[CancelToken] = set()
         self._active_subscriptions: set[tuple[str, str]] = set()
+        self._subscription_state: dict[tuple[str, str], dict] = {}
         self._connections: set[asyncio.StreamWriter] = set()
         self._drain_started = False
         self.started_at = time.time()
+        # Uptime is measured on the monotonic clock — wall-clock time is
+        # for display only and jumps under NTP steps.
+        self._started_monotonic = time.monotonic()
 
     # -- lifecycle ------------------------------------------------------
 
@@ -200,6 +229,24 @@ class QueryServer:
     @property
     def draining(self) -> bool:
         return self._drain_started
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
+    def _note_rejection(
+        self, tenant: str, code: str, *, counted: bool = False
+    ) -> None:
+        """Record a structured refusal in both the per-tenant admission
+        stats and the metrics registry.
+
+        ``counted=True`` means the :class:`AdmissionController` already
+        incremented the tenant's rejection counter on the reserve path;
+        only the registry counter is missing then.
+        """
+        if not counted:
+            self._admission.note_rejection(tenant, code)
+        self._rejections_counter.labels(tenant=tenant, code=code).inc()
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -353,6 +400,11 @@ class QueryServer:
                 ),
             )
             return
+        self._requests_counter.labels(
+            op=op
+            if op in ("ping", "stats", "metrics", "shutdown", "query", "subscribe")
+            else "unknown"
+        ).inc()
         try:
             if op == "ping":
                 await self._send(
@@ -366,6 +418,11 @@ class QueryServer:
                 )
             elif op == "stats":
                 await self._send(writer, self._stats_payload(rid))
+            elif op == "metrics":
+                await self._send(
+                    writer,
+                    {"id": rid, "ok": True, "metrics": self.metrics.expose()},
+                )
             elif op == "shutdown":
                 await self._handle_shutdown(rid, writer)
             elif op == "query":
@@ -385,10 +442,24 @@ class QueryServer:
             await self._send(writer, error_for_exception(error, rid))
 
     def _stats_payload(self, rid: Any) -> dict:
+        subscriptions = {}
+        for (tenant, name), state in sorted(self._subscription_state.items()):
+            streaming = state.get("streaming")
+            subscriptions[f"{tenant}/{name}"] = {
+                "delivered": state["delivered"],
+                "last_seq": state["last_seq"],
+                "queue_depth": state["queue"].qsize(),
+                "source_offset": (
+                    streaming.runner.source_offset
+                    if streaming is not None
+                    else 0
+                ),
+            }
         return {
             "id": rid,
             "ok": True,
             "stats": {
+                "uptime_s": round(self.uptime_s, 3),
                 "plan_cache": {
                     "hits": self._executor.plan_cache_hits,
                     "misses": self._executor.plan_cache_misses,
@@ -397,6 +468,8 @@ class QueryServer:
                 "inflight": self._inflight,
                 "draining": self._drain_started,
                 "subscriptions": len(self._active_subscriptions),
+                "subscription_detail": subscriptions,
+                "slow_queries": int(self._slow_queries_counter.value),
                 "tables": sorted(table.name for table in self._catalog),
             },
         }
@@ -426,6 +499,7 @@ class QueryServer:
         """Reserve a run slot; on failure a structured error has been
         sent and False is returned."""
         if self._inflight >= self._max_pending:
+            self._note_rejection(tenant, "backpressure")
             await self._send(
                 writer,
                 error_payload(
@@ -439,6 +513,7 @@ class QueryServer:
             return False
         decision = self._admission.reserve(tenant)
         if isinstance(decision, Rejection):
+            self._note_rejection(tenant, decision.code, counted=True)
             await self._send(
                 writer,
                 error_payload(
@@ -467,6 +542,7 @@ class QueryServer:
                     )
             except asyncio.TimeoutError:
                 self._admission.abandon(tenant)
+                self._note_rejection(tenant, "backpressure")
                 await self._send(
                     writer,
                     error_payload(
@@ -480,6 +556,7 @@ class QueryServer:
                 return False
             if not promoted:
                 self._admission.abandon(tenant)
+                self._note_rejection(tenant, "draining")
                 await self._send(
                     writer,
                     error_payload(
@@ -511,6 +588,7 @@ class QueryServer:
         if timeout is not None and timeout <= 0:
             # The chaos suite's expired-deadline fault class: a request
             # whose deadline has already passed is refused up front.
+            self._note_rejection(tenant, "deadline")
             await self._send(
                 writer,
                 error_payload(
@@ -583,6 +661,15 @@ class QueryServer:
                 tenant, rows_scanned=rows_scanned, matches=matches
             )
             await self._notify_slots()
+        if self._slow_log is not None and self._slow_log.maybe_record(
+            elapsed_s=time.perf_counter() - started,
+            sql=sql,
+            tenant=tenant,
+            ok=bool(response.get("ok")),
+            rows_scanned=rows_scanned,
+            matches=matches,
+        ):
+            self._slow_queries_counter.inc()
         await self._send(writer, response)
 
     def _run_query(self, tenant, sql, limits, token, workers):
@@ -653,6 +740,7 @@ class QueryServer:
             return
         key = (tenant, subscription)
         if key in self._active_subscriptions:
+            self._note_rejection(tenant, "subscription_busy")
             await self._send(
                 writer,
                 error_payload(
@@ -671,6 +759,15 @@ class QueryServer:
         token = CancelToken()
         queue: asyncio.Queue = asyncio.Queue(maxsize=SUBSCRIPTION_QUEUE_DEPTH)
         self._active_subscriptions.add(key)
+        # Live lag view for the stats op: delivery high-water mark vs.
+        # the runner's source offset, plus the queue depth between them.
+        sub_state = {
+            "queue": queue,
+            "streaming": None,
+            "delivered": 0,
+            "last_seq": after_seq,
+        }
+        self._subscription_state[key] = sub_state
         self._active_tokens.add(token)
         self._inflight += 1
         delivered = 0
@@ -718,6 +815,7 @@ class QueryServer:
             except ReproError as error:
                 await self._send(writer, error_for_exception(error, rid))
                 return
+            sub_state["streaming"] = streaming
 
             await self._send(
                 writer,
@@ -750,6 +848,8 @@ class QueryServer:
                         )
                         delivered += 1
                         last_seq = a
+                        sub_state["delivered"] = delivered
+                        sub_state["last_seq"] = last_seq
                     elif kind == "end":
                         await self._send(
                             writer,
@@ -778,6 +878,7 @@ class QueryServer:
                 rows_scanned = streaming.runner.source_offset
         finally:
             self._active_subscriptions.discard(key)
+            self._subscription_state.pop(key, None)
             self._active_tokens.discard(token)
             self._inflight -= 1
             self._admission.finish(

@@ -130,6 +130,7 @@ class _TenantState:
         "queries",
         "rows_charged",
         "matches",
+        "admitted",
         "rejections",
     )
 
@@ -142,6 +143,7 @@ class _TenantState:
         self.queries = 0
         self.rows_charged = 0
         self.matches = 0
+        self.admitted = 0
         self.rejections: dict[str, int] = {}
 
     def refill(self, now: float) -> None:
@@ -239,6 +241,7 @@ class AdmissionController:
                 )
             if state.running < state.quota.max_concurrent:
                 state.running += 1
+                state.admitted += 1
                 return "run"
             if state.queued < state.quota.max_queued:
                 state.queued += 1
@@ -260,6 +263,20 @@ class AdmissionController:
         )
         return rejection
 
+    def note_rejection(self, tenant: str, code: str) -> None:
+        """Count a structured refusal decided *outside* :meth:`reserve`.
+
+        The server refuses some requests before (or instead of) an
+        admission reservation — server-wide backpressure, queue-wait
+        timeouts, pre-expired deadlines, busy subscriptions.  Counting
+        those here keeps the per-tenant rejection counters in ``stats``
+        reconciled with every structured error a client observed
+        (asserted by the chaos suite).
+        """
+        with self._lock:
+            state = self._state(tenant)
+            state.rejections[code] = state.rejections.get(code, 0) + 1
+
     def try_promote(self, tenant: str) -> bool:
         """Move one queued request into a just-freed concurrency slot."""
         with self._lock:
@@ -272,6 +289,7 @@ class AdmissionController:
                 return False
             state.queued -= 1
             state.running += 1
+            state.admitted += 1
             return True
 
     def abandon(self, tenant: str) -> None:
@@ -314,6 +332,7 @@ class AdmissionController:
                     "running": state.running,
                     "queued": state.queued,
                     "queries": state.queries,
+                    "admitted": state.admitted,
                     "rows_charged": state.rows_charged,
                     "matches": state.matches,
                     "allowance": (

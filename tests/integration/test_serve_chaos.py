@@ -441,3 +441,109 @@ class TestChaosStorm:
             # The server itself is still healthy after the storm.
             with ServeClient(host, port) as client:
                 assert client.query(CROSSING_QUERY).rows == expected
+
+
+class TestRejectionAccounting:
+    def test_stats_reconcile_with_observed_refusals(self, catalog):
+        """Every structured refusal a client observed is in the stats.
+
+        Drives one instance of each admission-refusal class —
+        backpressure, subscription_busy, deadline, quota_exhausted —
+        while counting the ``ServeError`` codes each tenant actually
+        received, then asserts the per-tenant ``rejections`` counters
+        in the stats op equal the observed counts *exactly*: no
+        double-counting, no refusal the operator can't see.
+        """
+        release = threading.Event()
+        entered = threading.Event()
+
+        def block_blocked(op, tenant, sql):
+            if tenant == "blocked":
+                entered.set()
+                release.wait(timeout=30.0)
+
+        server = QueryServer(
+            catalog,
+            domains=AttributeDomains.prices(),
+            fault_injector=block_blocked,
+            pool_workers=4,
+            quotas={
+                "blocked": TenantQuota(max_concurrent=1, max_queued=0),
+                "starved": TenantQuota(rows_per_second=1.0),
+            },
+        )
+        observed: dict[str, dict[str, int]] = {}
+
+        def record(tenant: str, code: str) -> None:
+            per_tenant = observed.setdefault(tenant, {})
+            per_tenant[code] = per_tenant.get(code, 0) + 1
+
+        with ServerThread(server) as handle:
+            host, port = handle.address
+            # A subscription for "blocked" is admitted, then its
+            # producer wedges in the injector: the tenant's only run
+            # slot stays held for the rest of the storm.
+            holder = ServeClient(host, port, tenant="blocked")
+            holder._send(
+                {
+                    "id": 1,
+                    "op": "subscribe",
+                    "tenant": "blocked",
+                    "sql": CROSSING_QUERY,
+                    "subscription": "wedged",
+                    "after_seq": -1,
+                }
+            )
+            try:
+                begin = holder._check(holder._recv())
+                assert begin["event"] == "begin"
+                assert entered.wait(timeout=10.0)
+
+                with ServeClient(host, port, tenant="blocked") as c:
+                    for _ in range(2):  # slot held, queue closed
+                        try:
+                            c.query(CROSSING_QUERY)
+                        except ServeError as error:
+                            record("blocked", error.code)
+                    try:  # the id is busy; refused before admission
+                        list(c.subscribe(CROSSING_QUERY, "wedged"))
+                    except ServeError as error:
+                        record("blocked", error.code)
+
+                with ServeClient(host, port, tenant="hasty") as c:
+                    for _ in range(3):
+                        try:
+                            c.query(CROSSING_QUERY, timeout=0)
+                        except ServeError as error:
+                            record("hasty", error.code)
+
+                with ServeClient(host, port, tenant="starved") as c:
+                    c.query(CROSSING_QUERY)  # drains the row budget
+                    for _ in range(2):
+                        try:
+                            c.query(CROSSING_QUERY)
+                        except ServeError as error:
+                            record("starved", error.code)
+
+                with ServeClient(host, port, tenant="survivor") as c:
+                    c.query(CROSSING_QUERY)
+                    stats = c.stats()
+            finally:
+                release.set()
+                holder.close()
+
+        assert observed == {
+            "blocked": {"backpressure": 2, "subscription_busy": 1},
+            "hasty": {"deadline": 3},
+            "starved": {"quota_exhausted": 2},
+        }
+        tenants = stats["admission"]["tenants"]
+        for tenant, codes in observed.items():
+            assert tenants[tenant]["rejections"] == codes, tenant
+        assert tenants["survivor"]["rejections"] == {}
+        # Admissions reconcile too: the wedged subscription plus the
+        # budget-draining and surviving queries, nothing else.
+        assert tenants["blocked"]["admitted"] == 1
+        assert tenants["hasty"]["admitted"] == 0
+        assert tenants["starved"]["admitted"] == 1
+        assert tenants["survivor"]["admitted"] == 1

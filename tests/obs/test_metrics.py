@@ -1,0 +1,152 @@
+"""The metrics registry: counters, gauges, histograms, exposition."""
+
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry
+
+GOLDEN = Path(__file__).parent / "golden_metrics.prom"
+
+
+def golden_registry() -> MetricsRegistry:
+    """A registry with one of everything, filled deterministically."""
+    registry = MetricsRegistry()
+    hits = registry.counter("repro_plan_cache_hits_total", "Plan cache hits.")
+    hits.inc()
+    hits.inc(2)
+    rejections = registry.counter(
+        "repro_serve_rejections_total",
+        "Rejections by tenant and code.",
+        labelnames=("tenant", "code"),
+    )
+    rejections.labels(tenant="acme", code="backpressure").inc(3)
+    rejections.labels(tenant="acme", code="deadline").inc()
+    rejections.labels(tenant="beta", code="quota_exhausted").inc()
+    inflight = registry.gauge("repro_serve_inflight", "Requests in flight.")
+    inflight.set(4)
+    inflight.dec()
+    seconds = registry.histogram(
+        "repro_query_seconds",
+        "Query wall time.",
+        buckets=(0.01, 0.1, 1.0),
+    )
+    for value in (0.005, 0.02, 0.02, 0.5, 3.0):
+        seconds.observe(value)
+    return registry
+
+
+class TestCounters:
+    def test_unlabeled_counts(self):
+        counter = MetricsRegistry().counter("c_total")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_labeled_children_are_independent(self):
+        family = MetricsRegistry().counter("c_total", labelnames=("code",))
+        family.labels(code="a").inc()
+        family.labels(code="b").inc(2)
+        assert family.labels(code="a").value == 1
+        assert family.labels(code="b").value == 2
+
+    def test_labeled_family_rejects_direct_inc(self):
+        family = MetricsRegistry().counter("c_total", labelnames=("code",))
+        with pytest.raises(ValueError, match="call .labels"):
+            family.inc()
+
+    def test_wrong_label_names_rejected(self):
+        family = MetricsRegistry().counter("c_total", labelnames=("code",))
+        with pytest.raises(ValueError, match="expected labels"):
+            family.labels(tenant="x")
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help")
+        second = registry.counter("c_total")
+        assert first is second
+        first.inc()
+        assert second.value == 1
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("x_total")
+
+    def test_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labelnames=("a",))
+        with pytest.raises(ValueError, match="already registered with labels"):
+            registry.counter("x_total", labelnames=("b",))
+
+    def test_bad_metric_name_raises(self):
+        with pytest.raises(ValueError, match="bad metric name"):
+            MetricsRegistry().counter("bad name")
+
+    def test_histogram_buckets_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            MetricsRegistry().histogram("h", buckets=(1.0, 0.5))
+
+    def test_concurrent_increments_are_not_lost(self):
+        counter = MetricsRegistry().counter("c_total")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.02, 0.02, 0.5, 3.0):
+            histogram.observe(value)
+        child = histogram.labels() if histogram.labelnames else histogram
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(3.545)
+
+    def test_default_buckets_cover_subsecond_to_10s(self):
+        assert DEFAULT_BUCKETS[0] == 0.001
+        assert DEFAULT_BUCKETS[-1] == 10.0
+
+
+class TestExposition:
+    def test_matches_golden_file(self):
+        exposed = golden_registry().expose()
+        assert exposed == GOLDEN.read_text()
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", labelnames=("q",))
+        family.labels(q='say "hi"\nplease\\now').inc()
+        exposed = registry.expose()
+        assert r'q="say \"hi\"\nplease\\now"' in exposed
+
+    def test_empty_registry_exposes_empty(self):
+        assert MetricsRegistry().expose() == ""
+
+    def test_snapshot_is_json_ready(self):
+        snapshot = golden_registry().snapshot()
+        rehydrated = json.loads(json.dumps(snapshot))
+        hits = rehydrated["repro_plan_cache_hits_total"]
+        assert hits["type"] == "counter"
+        assert hits["samples"][0]["value"] == 3
+        seconds = rehydrated["repro_query_seconds"]
+        assert seconds["samples"][0]["count"] == 5
+        assert seconds["samples"][0]["buckets"]["+Inf"] == 5

@@ -1,0 +1,125 @@
+"""The slow-query log: threshold gating, JSON lines, never raising."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs import SlowQueryLog
+
+
+class TestThreshold:
+    def test_below_threshold_is_not_recorded(self):
+        stream = io.StringIO()
+        log = SlowQueryLog(stream, threshold_s=1.0)
+        assert log.maybe_record(elapsed_s=0.5) is False
+        assert stream.getvalue() == ""
+        assert log.entries_written == 0
+
+    def test_at_and_above_threshold_are_recorded(self):
+        stream = io.StringIO()
+        log = SlowQueryLog(stream, threshold_s=1.0)
+        assert log.maybe_record(elapsed_s=1.0) is True
+        assert log.maybe_record(elapsed_s=2.5) is True
+        assert log.entries_written == 2
+
+    def test_zero_threshold_records_everything(self):
+        stream = io.StringIO()
+        log = SlowQueryLog(stream, threshold_s=0.0)
+        assert log.maybe_record(elapsed_s=0.0001) is True
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SlowQueryLog(io.StringIO(), threshold_s=-0.1)
+
+
+class TestEntryShape:
+    def test_json_line_fields(self):
+        stream = io.StringIO()
+        log = SlowQueryLog(stream, threshold_s=0.0)
+        log.maybe_record(
+            elapsed_s=1.5,
+            sql="SELECT X.day FROM quote SEQUENCE BY day AS (X)",
+            tenant="acme",
+            matches=3,
+            ok=True,
+        )
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["elapsed_ms"] == 1500.0
+        assert entry["threshold_ms"] == 0.0
+        assert entry["sql"].startswith("SELECT X.day")
+        assert entry["tenant"] == "acme"
+        assert entry["matches"] == 3
+        assert entry["ok"] is True
+        # ISO-8601 UTC wall clock, for humans correlating with the world.
+        assert entry["ts"].endswith("+00:00")
+
+    def test_sql_is_truncated(self):
+        stream = io.StringIO()
+        log = SlowQueryLog(stream, threshold_s=0.0)
+        log.maybe_record(elapsed_s=1.0, sql="x" * 2000)
+        entry = json.loads(stream.getvalue())
+        assert len(entry["sql"]) == 500
+
+    def test_one_line_per_entry(self):
+        stream = io.StringIO()
+        log = SlowQueryLog(stream, threshold_s=0.0)
+        for elapsed in (1.0, 2.0, 3.0):
+            log.maybe_record(elapsed_s=elapsed)
+        lines = stream.getvalue().splitlines()
+        assert [json.loads(line)["elapsed_ms"] for line in lines] == [
+            1000.0,
+            2000.0,
+            3000.0,
+        ]
+
+
+class TestSinks:
+    def test_path_sink_appends(self, tmp_path):
+        target = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(str(target), threshold_s=0.0)
+        log.maybe_record(elapsed_s=1.0, tenant="a")
+        log.maybe_record(elapsed_s=2.0, tenant="b")
+        lines = target.read_text().splitlines()
+        assert [json.loads(line)["tenant"] for line in lines] == ["a", "b"]
+        assert log.entries_written == 2
+
+    def test_bad_path_never_raises(self, tmp_path):
+        log = SlowQueryLog(
+            str(tmp_path / "no" / "such" / "dir" / "slow.jsonl"),
+            threshold_s=0.0,
+        )
+        assert log.maybe_record(elapsed_s=1.0) is False
+        assert log.write_errors == 1
+        assert log.entries_written == 0
+
+    def test_closed_stream_never_raises(self):
+        stream = io.StringIO()
+        stream.close()
+        log = SlowQueryLog(stream, threshold_s=0.0)
+        assert log.maybe_record(elapsed_s=1.0) is False
+        assert log.write_errors == 1
+
+    def test_concurrent_writers_emit_whole_lines(self, tmp_path):
+        target = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(str(target), threshold_s=0.0)
+
+        def spin(tenant):
+            for _ in range(50):
+                log.maybe_record(elapsed_s=1.0, tenant=tenant)
+
+        threads = [
+            threading.Thread(target=spin, args=(name,))
+            for name in ("a", "b", "c", "d")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        lines = target.read_text().splitlines()
+        assert len(lines) == 200
+        assert all(json.loads(line)["tenant"] in "abcd" for line in lines)
+        assert log.entries_written == 200

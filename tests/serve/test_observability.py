@@ -1,0 +1,182 @@
+"""Observability surfaces of the query server: stats reconciliation,
+the metrics exposition op, subscription lag, and the slow-query log."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.serve import ServeClient, TenantQuota
+from repro.serve.client import ServeError
+
+from tests.serve.conftest import CROSSING_QUERY, RISING_QUERY
+
+
+class TestUptime:
+    def test_uptime_is_monotonic_and_fresh(self, run_server):
+        handle = run_server()
+        with ServeClient(*handle.address) as client:
+            first = client.stats()["uptime_s"]
+            second = client.stats()["uptime_s"]
+        assert 0.0 <= first <= second < 60.0
+
+
+class TestAdmissionReconciliation:
+    def test_admitted_counts_served_queries(self, run_server):
+        handle = run_server()
+        with ServeClient(*handle.address, tenant="acme") as client:
+            client.query(RISING_QUERY)
+            client.query(RISING_QUERY)
+            tenants = client.stats()["admission"]["tenants"]
+        assert tenants["acme"]["admitted"] == 2
+        assert tenants["acme"]["queries"] == 2
+        assert tenants["acme"]["rejections"] == {}
+
+    def test_expired_deadline_rejection_is_counted(self, run_server):
+        handle = run_server()
+        with ServeClient(*handle.address, tenant="acme") as client:
+            with pytest.raises(ServeError) as info:
+                client.query(RISING_QUERY, timeout=0)
+            assert info.value.code == "deadline"
+            tenants = client.stats()["admission"]["tenants"]
+        assert tenants["acme"]["rejections"] == {"deadline": 1}
+        assert tenants["acme"]["admitted"] == 0
+
+    def test_quota_rejection_is_counted(self, run_server):
+        handle = run_server(
+            quotas={"poor": TenantQuota(rows_per_second=5.0, burst_rows=30.0)}
+        )
+        with ServeClient(*handle.address, tenant="poor") as client:
+            client.query(RISING_QUERY)  # drains the 30-row burst bucket
+            with pytest.raises(ServeError) as info:
+                client.query(RISING_QUERY)
+            assert info.value.code == "quota_exhausted"
+            tenants = client.stats()["admission"]["tenants"]
+        assert tenants["poor"]["rejections"] == {"quota_exhausted": 1}
+        assert tenants["poor"]["admitted"] == 1
+
+    def test_every_observed_error_appears_in_stats(self, run_server):
+        """Client-observed structured refusals reconcile exactly."""
+        handle = run_server(
+            quotas={"mixed": TenantQuota(rows_per_second=5.0, burst_rows=30.0)}
+        )
+        observed: dict[str, int] = {}
+        with ServeClient(*handle.address, tenant="mixed") as client:
+            attempts = [
+                lambda: client.query(RISING_QUERY, timeout=0),
+                lambda: client.query(RISING_QUERY),  # admitted, drains bucket
+                lambda: client.query(RISING_QUERY),  # quota_exhausted
+                lambda: client.query(RISING_QUERY, timeout=0),
+            ]
+            for attempt in attempts:
+                try:
+                    attempt()
+                except ServeError as error:
+                    observed[error.code] = observed.get(error.code, 0) + 1
+            state = client.stats()["admission"]["tenants"]["mixed"]
+        assert observed == {"deadline": 2, "quota_exhausted": 1}
+        assert state["rejections"] == observed
+        assert state["admitted"] == 1
+
+
+class TestMetricsOp:
+    def test_exposition_counts_requests_and_rejections(self, run_server):
+        handle = run_server()
+        with ServeClient(*handle.address, tenant="acme") as client:
+            client.query(RISING_QUERY)
+            with pytest.raises(ServeError):
+                client.query(RISING_QUERY, timeout=0)
+            exposed = client.metrics()
+        assert "# TYPE repro_serve_requests_total counter" in exposed
+        assert 'repro_serve_requests_total{op="query"} 2' in exposed
+        assert (
+            'repro_serve_rejections_total{tenant="acme",code="deadline"} 1'
+            in exposed
+        )
+
+    def test_engine_metrics_share_the_registry(self, run_server):
+        handle = run_server()
+        with ServeClient(*handle.address) as client:
+            client.query(RISING_QUERY)
+            client.query(RISING_QUERY)
+            exposed = client.metrics()
+        assert "repro_plan_cache_misses_total 1" in exposed
+        assert "repro_plan_cache_hits_total 1" in exposed
+        assert "repro_query_seconds_count 2" in exposed
+
+
+class TestSubscriptionLag:
+    def test_active_subscription_is_visible_in_stats(self, run_server):
+        release = threading.Event()
+
+        def slow_fault(op, tenant, sql):
+            if op == "subscribe":
+                release.wait(timeout=30.0)
+
+        handle = run_server(fault_injector=slow_fault)
+        first = ServeClient(*handle.address, tenant="acme")
+        first._send(
+            {
+                "id": 1,
+                "op": "subscribe",
+                "tenant": "acme",
+                "sql": CROSSING_QUERY,
+                "subscription": "lagged",
+                "after_seq": -1,
+            }
+        )
+        try:
+            begin = first._check(first._recv())
+            assert begin["event"] == "begin"
+            with ServeClient(*handle.address) as other:
+                stats = other.stats()
+            detail = stats["subscription_detail"]["acme/lagged"]
+            assert detail["delivered"] == 0
+            assert detail["last_seq"] == -1
+            assert detail["queue_depth"] >= 0
+            assert detail["source_offset"] >= 0
+        finally:
+            release.set()
+            first.close()
+
+    def test_finished_subscription_leaves_no_residue(self, run_server):
+        handle = run_server()
+        with ServeClient(*handle.address) as client:
+            rows = list(client.subscribe(CROSSING_QUERY, "done"))
+            assert rows
+            stats = client.stats()
+        assert stats["subscription_detail"] == {}
+        assert stats["subscriptions"] == 0
+
+
+class TestSlowQueryLog:
+    def test_slow_queries_logged_and_counted(self, run_server, tmp_path):
+        target = tmp_path / "slow.jsonl"
+        handle = run_server(
+            slow_query_log=str(target), slow_query_threshold=0.0
+        )
+        with ServeClient(*handle.address, tenant="acme") as client:
+            client.query(RISING_QUERY)
+            stats = client.stats()
+        assert stats["slow_queries"] == 1
+        entries = [
+            json.loads(line) for line in target.read_text().splitlines()
+        ]
+        assert len(entries) == 1
+        assert entries[0]["tenant"] == "acme"
+        assert entries[0]["ok"] is True
+        assert entries[0]["sql"].startswith("SELECT X.day")
+        assert entries[0]["elapsed_ms"] >= 0
+
+    def test_fast_queries_stay_out_of_the_log(self, run_server, tmp_path):
+        target = tmp_path / "slow.jsonl"
+        handle = run_server(
+            slow_query_log=str(target), slow_query_threshold=30.0
+        )
+        with ServeClient(*handle.address) as client:
+            client.query(RISING_QUERY)
+            stats = client.stats()
+        assert stats["slow_queries"] == 0
+        assert not target.exists() or target.read_text() == ""

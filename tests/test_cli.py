@@ -236,6 +236,41 @@ class TestExplain:
         assert "cluster filter" in output and "IBM" in output
 
 
+class TestProfile:
+    def test_profile_flag_appends_profile_same_rows(self, quotes_csv):
+        table = f"quote={quotes_csv}:name:str,date:date,price:float"
+        code, plain = run_cli(
+            "query", "--table", table, "--positive", "price", QUERY
+        )
+        assert code == 0
+        code, profiled = run_cli(
+            "query", "--table", table, "--positive", "price",
+            "--profile", QUERY,
+        )
+        assert code == 0
+        assert "Query Profile" in profiled
+        assert "execute" in profiled and "scan" in profiled
+        # The profile is appended; the result rows are untouched.
+        assert profiled.startswith(plain)
+        assert "Query Profile" not in plain
+
+    def test_explain_analyze_renders_span_tree(self, quotes_csv):
+        code, output = run_cli(
+            "explain",
+            "--table",
+            f"quote={quotes_csv}:name:str,date:date,price:float",
+            "--positive",
+            "price",
+            "--analyze",
+            QUERY,
+        )
+        assert code == 0
+        assert "Query Profile" in output
+        # The explain itself compiled the plan, so the traced run hits.
+        assert "cache=hit" in output
+        assert "partition=IBM" in output
+
+
 class TestArgumentParsing:
     def test_bad_table_spec(self):
         with pytest.raises(SystemExit):
