@@ -49,6 +49,35 @@ from repro.resilience import CancelToken, Diagnostics, ErrorPolicy, ResourceLimi
 EXIT_LIMIT_HIT = 3
 
 
+def _activate_failpoints(args: argparse.Namespace) -> None:
+    """Arm ``--failpoints SPEC`` before the command touches any data."""
+    spec = getattr(args, "failpoints", None)
+    if not spec:
+        return
+    from repro import failpoints
+    from repro.failpoints import KNOWN_SITES, FailpointSpecError
+
+    if spec.strip() == "help":
+        for site in KNOWN_SITES:
+            print(site)
+        raise SystemExit(0)
+    try:
+        failpoints.activate_spec(spec)
+    except FailpointSpecError as error:
+        raise ExecutionError(f"bad --failpoints spec: {error}") from None
+
+
+def _add_failpoints_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--failpoints",
+        metavar="SPEC",
+        default=None,
+        help="arm deterministic fault injection, e.g. "
+        "'checkpoint.fsync=skip;checkpoint.write=torn@2*1' "
+        "(testing only; see docs/observability.md)",
+    )
+
+
 def _cancel_on_signals(token: CancelToken) -> dict:
     """Route SIGINT/SIGTERM into cooperative cancellation.
 
@@ -170,6 +199,7 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _command_query(args: argparse.Namespace, out) -> int:
+    _activate_failpoints(args)
     diagnostics = Diagnostics()
     catalog = _build_catalog(args, diagnostics)
     domains = AttributeDomains(args.positive)
@@ -272,9 +302,32 @@ def _stream_source(args: argparse.Namespace, diagnostics: Diagnostics):
     )
 
 
-def _command_stream(args: argparse.Namespace, out) -> int:
-    from repro.recovery import CheckpointPolicy, CheckpointStore, RetryPolicy
+def _stream_store(args: argparse.Namespace):
+    """Build the stream's checkpoint store from ``--checkpoint`` flags.
 
+    ``--checkpoint-replicas 1`` (the default) keeps the legacy single
+    flat file; N > 1 replicates across ``PATH``, ``PATH.r1`` …
+    ``PATH.r{{N-1}}`` with quorum writes and repair-on-load.
+    """
+    from repro.recovery import CheckpointStore, ReplicatedCheckpointStore
+
+    if not args.checkpoint:
+        return None
+    replicas = getattr(args, "checkpoint_replicas", 1)
+    if replicas < 1:
+        raise ExecutionError("--checkpoint-replicas must be >= 1")
+    if replicas == 1:
+        return CheckpointStore(args.checkpoint)
+    paths = [args.checkpoint] + [
+        f"{args.checkpoint}.r{index}" for index in range(1, replicas)
+    ]
+    return ReplicatedCheckpointStore(paths)
+
+
+def _command_stream(args: argparse.Namespace, out) -> int:
+    from repro.recovery import CheckpointPolicy, RetryPolicy
+
+    _activate_failpoints(args)
     diagnostics = Diagnostics()
     source_factory = _stream_source(args, diagnostics)
     executor = Executor(
@@ -283,14 +336,16 @@ def _command_stream(args: argparse.Namespace, out) -> int:
         limits=_limits_from_args(args),
         codegen=args.evaluator == "compiled",
     )
-    store = CheckpointStore(args.checkpoint) if args.checkpoint else None
+    store = _stream_store(args)
     if args.resume and store is None:
         raise ExecutionError("--resume requires --checkpoint PATH")
     checkpoints = CheckpointPolicy(
         every_rows=args.checkpoint_every,
         every_seconds=args.checkpoint_interval,
     )
-    retry = RetryPolicy(max_retries=args.retry, backoff=args.backoff)
+    retry = RetryPolicy(
+        max_retries=args.retry, backoff=args.backoff, jitter=args.retry_jitter
+    )
     count = 0
     token = CancelToken()
     previous = _cancel_on_signals(token)
@@ -425,6 +480,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write Diagnostics counters as JSON to PATH (written on "
         "every exit path, including partial results)",
     )
+    _add_failpoints_argument(query)
     query.set_defaults(func=_command_query)
 
     stream = subparsers.add_parser(
@@ -439,6 +495,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="durable checkpoint file (written atomically; "
         "PATH.prev keeps the previous good checkpoint)",
+    )
+    stream.add_argument(
+        "--checkpoint-replicas",
+        type=int,
+        default=1,
+        metavar="N",
+        help="replicate the checkpoint across N files (PATH, PATH.r1, "
+        "...) with majority-quorum writes and repair-on-load "
+        "(default 1: single flat file)",
     )
     stream.add_argument(
         "--resume",
@@ -475,6 +540,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="initial retry backoff, doubled per consecutive failure "
         "(default 0.1)",
+    )
+    stream.add_argument(
+        "--retry-jitter",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="randomize each retry delay: 0 keeps the exact geometric "
+        "schedule (default), 1 is full jitter in [0, delay)",
     )
     stream.add_argument(
         "--overflow",
@@ -535,6 +608,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="sleep SECONDS after each emitted row (pacing for demos "
         "and interruption tests)",
     )
+    _add_failpoints_argument(stream)
     stream.set_defaults(func=_command_stream)
 
     explain = subparsers.add_parser(
@@ -655,6 +729,15 @@ def build_parser() -> argparse.ArgumentParser:
         "exactly-once resumable subscriptions)",
     )
     serve.add_argument(
+        "--checkpoint-replicas",
+        type=int,
+        default=1,
+        metavar="N",
+        help="replicate each subscription checkpoint across N replica "
+        "subdirectories of --checkpoint-dir with majority-quorum "
+        "writes and repair-on-load (default 1: single file)",
+    )
+    serve.add_argument(
         "--drain-grace",
         type=float,
         default=5.0,
@@ -687,6 +770,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="wall-time threshold for the slow-query log (default 1.0)",
     )
+    serve.add_argument(
+        "--slow-query-log-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="rotate the slow-query log to PATH.1 before it would exceed "
+        "BYTES (default: grow without bound)",
+    )
+    _add_failpoints_argument(serve)
     serve.set_defaults(func=_command_serve)
 
     call = subparsers.add_parser(
@@ -709,6 +801,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="per-request match cap (tightens the tenant quota)",
+    )
+    call.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reconnect up to N times on connection loss with full-jitter "
+        "backoff (0 disables failover; default: 4)",
     )
     call.set_defaults(func=_command_call)
 
@@ -734,6 +834,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SEQ",
         help="exactly-once high-water mark: suppress matches with "
         "seq <= SEQ (pass the last seq you received)",
+    )
+    subscribe.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="on connection loss, reconnect and resume from the last "
+        "received seq up to N times (0 disables failover; default: 4)",
     )
     subscribe.set_defaults(func=_command_subscribe)
 
@@ -841,6 +949,7 @@ def _quotas_from_json(path: str, args: argparse.Namespace) -> dict:
 def _command_serve(args: argparse.Namespace, out) -> int:
     from repro.serve import QueryServer, ServerThread, TenantQuota
 
+    _activate_failpoints(args)
     diagnostics = Diagnostics()
     catalog = _build_catalog(args, diagnostics)
     if len(catalog) == 0:
@@ -871,6 +980,8 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         allow_remote_shutdown=args.allow_remote_shutdown,
         slow_query_threshold=args.slow_query_threshold,
         slow_query_log=args.slow_query_log,
+        slow_query_log_max_bytes=args.slow_query_log_max_bytes,
+        checkpoint_replicas=args.checkpoint_replicas,
     )
     stop = threading.Event()
     previous = {}
@@ -899,11 +1010,32 @@ def _command_serve(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _failover_from_args(args: argparse.Namespace):
+    """Map ``--retries`` to a client failover policy.
+
+    ``None`` (flag omitted) keeps the client default; ``0`` disables
+    reconnection entirely (``failover=None``).
+    """
+    from repro.serve.client import _DEFAULT_FAILOVER, FailoverPolicy
+
+    retries = getattr(args, "retries", None)
+    if retries is None:
+        return _DEFAULT_FAILOVER
+    if retries < 0:
+        raise ExecutionError("--retries must be >= 0")
+    if retries == 0:
+        return None
+    return FailoverPolicy(max_retries=retries)
+
+
 def _command_call(args: argparse.Namespace, out) -> int:
     from repro.serve import ServeClient
     from repro.serve.client import ServeError
 
-    with ServeClient(args.host, args.port, tenant=args.tenant) as client:
+    with ServeClient(
+        args.host, args.port, tenant=args.tenant,
+        failover=_failover_from_args(args),
+    ) as client:
         try:
             reply = client.query(
                 args.sql, timeout=args.timeout, max_matches=args.max_matches
@@ -929,7 +1061,10 @@ def _command_subscribe(args: argparse.Namespace, out) -> int:
     from repro.serve import ServeClient
     from repro.serve.client import ServeError
 
-    with ServeClient(args.host, args.port, tenant=args.tenant) as client:
+    with ServeClient(
+        args.host, args.port, tenant=args.tenant,
+        failover=_failover_from_args(args),
+    ) as client:
         try:
             rows = client.subscribe(
                 args.sql,

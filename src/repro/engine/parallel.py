@@ -60,6 +60,7 @@ from concurrent.futures import as_completed
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Union
 
+from repro import failpoints
 from repro.engine.cluster import clusters_of
 from repro.engine.executor import (
     MATCHERS,
@@ -214,6 +215,7 @@ def _run_unit(
     re-raise the earliest failure, exactly as the serial loop would have
     surfaced it.
     """
+    failpoints.maybe_fail("parallel.worker_start")
     matcher_name = plan.matcher_name
     matcher = MATCHERS[matcher_name]()
     unit_diagnostics = Diagnostics()

@@ -114,3 +114,19 @@ class StatementError(ReproError):
 
 class ConstraintError(ReproError):
     """Raised for malformed constraint atoms or unsupported operators."""
+
+
+class FailpointError(ReproError, OSError):
+    """The default exception injected by an armed failpoint site.
+
+    Derives from :class:`OSError` because the sites that matter most
+    (checkpoint fsync/rename, socket sends) fail with OS-level errors in
+    the wild, so recovery code exercised by a failpoint takes the same
+    ``except`` paths it would take for the real fault.  Carries the site
+    name for assertion messages.
+    """
+
+    def __init__(self, site: str, message: str = ""):
+        detail = message or f"failpoint {site!r} injected failure"
+        super().__init__(detail)
+        self.site = site

@@ -84,6 +84,14 @@ class _Run:
         self.shift = pattern.shift_next.shift
         self.next_ = pattern.shift_next.next_
         self.m = pattern.m
+        # Residual (non-symbolic) conditions may reference the *binding*
+        # of a starred element; an opaque predicate without the flag is
+        # treated as residual — the conservative direction.
+        self.leading_star = bool(self.elements) and self.elements[0].star
+        self.residuals = tuple(
+            getattr(element.predicate, "has_residual", True)
+            for element in self.elements
+        )
         self.matches: list[Match] = []
         self._reset_attempt(0)
 
@@ -223,6 +231,28 @@ class _Run:
     def _mismatch(self) -> None:
         """Apply the compiled shift/next after a genuine failure at j."""
         j = self.j
+        # The shift/next tables reason element-to-element, so they can
+        # clear *alignments*, never the input positions interior to a
+        # star run.  For runs of elements >= 2 that is still sound: the
+        # failure graph's start nodes quantify over every tuple the old
+        # element consumed, and residual-bearing predicates keep those
+        # nodes U-valued (un-skippable).  The one hole is the *leading*
+        # star's run: no graph node represents restarting inside it —
+        # skipping its interior is justified only because such a restart
+        # replays the exact same alignment, and that argument breaks
+        # when the failed element's condition is a residual (it may
+        # reference the star's binding, which a shorter run re-binds).
+        # In that case fall back to the naive restart one position in.
+        if (
+            j >= 2
+            and self.leading_star
+            and self.counts[1] >= 2
+            and self.residuals[j - 1]
+        ):
+            if self.instrumentation is not None:
+                self.instrumentation.record_skip(1)
+            self._reset_attempt(self.attempt_start + 1)
+            return
         nx = self.next_[j]
         if nx == 0:
             # shift(j) = j: the failed tuple provably cannot start a match.

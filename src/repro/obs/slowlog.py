@@ -12,12 +12,20 @@ server itself stay monotonic (see ``QueryServer``).
 The log never raises into the request path: a full disk or closed sink
 increments :attr:`write_errors` and drops the entry — losing a log
 line must not fail a query that already succeeded.
+
+With ``max_bytes`` set, a path-backed log rotates: when appending the
+next entry would push the file past the cap, the current file is moved
+to ``<path>.1`` (replacing any previous ``.1``) and the entry starts a
+fresh file — bounded disk for always-on serving, at most two
+generations on disk.  Rotation failures are swallowed like write
+failures: the entry is still appended to the unrotated file.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
 import json
+import os
 import threading
 from typing import IO, Optional, Union
 
@@ -38,14 +46,20 @@ class SlowQueryLog:
         self,
         sink: Union[str, IO[str]],
         threshold_s: float = DEFAULT_THRESHOLD_S,
+        *,
+        max_bytes: Optional[int] = None,
     ):
         if threshold_s < 0:
             raise ValueError(
                 f"threshold_s must be non-negative, got {threshold_s}"
             )
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.threshold_s = threshold_s
+        self.max_bytes = max_bytes
         self.entries_written = 0
         self.write_errors = 0
+        self.rotations = 0
         self._lock = threading.Lock()
         if isinstance(sink, (str, bytes)) or hasattr(sink, "__fspath__"):
             self._path: Optional[str] = str(sink)
@@ -74,6 +88,8 @@ class SlowQueryLog:
                     self._stream.write(line + "\n")
                     self._stream.flush()
                 else:
+                    if self.max_bytes is not None:
+                        self._maybe_rotate(len(line) + 1)
                     with open(self._path, "a") as handle:
                         handle.write(line + "\n")
             except Exception:  # noqa: BLE001 - logging must not fail queries
@@ -81,3 +97,27 @@ class SlowQueryLog:
                 return False
             self.entries_written += 1
             return True
+
+    @property
+    def rotated_path(self) -> Optional[str]:
+        """Where the previous generation lands (path-backed logs only)."""
+        return self._path + ".1" if self._path is not None else None
+
+    def _maybe_rotate(self, incoming: int) -> None:
+        """Roll ``path`` to ``path.1`` if the next write would burst the cap.
+
+        Called under the lock, swallowing every error: a log that cannot
+        rotate keeps appending (unbounded beats raising into the request
+        path; the next successful rotation re-bounds it).
+        """
+        try:
+            size = os.path.getsize(self._path)
+        except OSError:
+            return  # nothing on disk yet — nothing to rotate
+        if size + incoming <= self.max_bytes:
+            return
+        try:
+            os.replace(self._path, self._path + ".1")
+        except OSError:
+            return
+        self.rotations += 1

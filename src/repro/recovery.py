@@ -34,11 +34,13 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import random
 import struct
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterator, Mapping, Optional, Tuple
+from typing import Callable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro import failpoints
 from repro.errors import (
     CheckpointCorrupt,
     RecoveryError,
@@ -252,21 +254,33 @@ class CheckpointStore:
         return os.path.exists(self.path) or os.path.exists(self.previous_path)
 
     def save(self, state: object) -> None:
-        """Serialize ``state`` and atomically replace the checkpoint."""
+        """Serialize ``state`` and atomically replace the checkpoint.
+
+        The failpoint sites here model the crash-consistency hazards this
+        protocol defends against: ``checkpoint.write`` can tear the frame
+        (partial temp-file write), ``checkpoint.fsync`` can be skipped or
+        fail (lost page cache), and ``checkpoint.rename`` fires between
+        the ``.prev`` rotation and the final rename — the window where a
+        crash leaves only the fallback on disk.  All are no-ops unless a
+        test arms them (see :mod:`repro.failpoints`).
+        """
         payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
         frame = (
             _HEADER.pack(_MAGIC, CHECKPOINT_VERSION, len(payload))
             + hashlib.sha256(payload).digest()
             + payload
         )
+        frame = failpoints.mangle("checkpoint.write", frame)
         directory = os.path.dirname(self.path) or "."
         tmp_path = self.path + ".tmp"
         with open(tmp_path, "wb") as handle:
             handle.write(frame)
             handle.flush()
-            os.fsync(handle.fileno())
+            if not failpoints.maybe_fail("checkpoint.fsync"):
+                os.fsync(handle.fileno())
         if self.keep_previous and os.path.exists(self.path):
             os.replace(self.path, self.previous_path)
+        failpoints.maybe_fail("checkpoint.rename")
         os.replace(tmp_path, self.path)
         try:  # pragma: no cover - platform dependent
             dir_fd = os.open(directory, os.O_RDONLY)
@@ -355,6 +369,230 @@ class CheckpointStore:
 
 
 @dataclass(frozen=True)
+class _Generational:
+    """Envelope a replicated store pickles into each replica: the state
+    plus a monotonically increasing write generation, so a read can tell
+    which surviving replica is newest without trusting mtimes."""
+
+    generation: int
+    state: object
+
+
+class ReplicatedCheckpointStore:
+    """Fan-out checkpointing across N replica paths with read repair.
+
+    Each replica is a full :class:`CheckpointStore` (own checksummed
+    frame, own ``.prev`` fallback), typically in a different directory —
+    ideally a different filesystem — so losing one failure domain loses
+    one replica, not the stream's durability.  Every ``save()`` stamps
+    the state with a generation number and fans out to all replicas; the
+    write succeeds if at least ``quorum`` replicas (default: a majority)
+    land, and per-replica failures are counted loudly rather than
+    silently shrinking durability.
+
+    ``load()`` reads *every* replica, picks the highest valid
+    generation, and repairs divergent replicas in place — stale (older
+    generation), corrupt, or missing replicas are rewritten with the
+    winning state, so one surviving replica is enough to restore and the
+    fleet converges back to full strength on the next load.  Divergence
+    and repair are recorded in :class:`~repro.resilience.Diagnostics`
+    (``replicas_repaired``, plus a warning per repair) and mirrored into
+    an optional metrics counter.
+
+    Duck-type compatible with :class:`CheckpointStore` (``exists`` /
+    ``save`` / ``load`` / ``path``), so it drops into
+    :class:`RecoveringStreamRunner`, ``Executor.stream``, and the serve
+    subscription path unchanged.
+    """
+
+    def __init__(
+        self,
+        paths: Sequence[str | os.PathLike],
+        *,
+        keep_previous: bool = True,
+        quorum: Optional[int] = None,
+        repair_counter=None,
+        diagnostics: Optional[Diagnostics] = None,
+    ):
+        if not paths:
+            raise ValueError("ReplicatedCheckpointStore needs at least one path")
+        resolved = [os.fspath(path) for path in paths]
+        if len(set(resolved)) != len(resolved):
+            raise ValueError(f"replica paths must be distinct, got {resolved}")
+        self._stores = [
+            CheckpointStore(path, keep_previous=keep_previous) for path in resolved
+        ]
+        majority = len(resolved) // 2 + 1
+        if quorum is None:
+            quorum = majority
+        if not 1 <= quorum <= len(resolved):
+            raise ValueError(
+                f"quorum must be in 1..{len(resolved)}, got {quorum}"
+            )
+        self.quorum = quorum
+        # Generation is discovered lazily: a fresh process opening existing
+        # replicas must continue *above* the highest generation on disk,
+        # never restart at 1 (which would make every subsequent read treat
+        # the new writes as stale).
+        self._generation: Optional[int] = None
+        self.repairs = 0
+        self.write_failures = 0
+        self._repair_counter = repair_counter
+        # save() has no diagnostics argument (CheckpointStore parity), so
+        # write-failure accounting goes through this bound record instead.
+        self._diagnostics = diagnostics
+
+    @property
+    def path(self) -> str:
+        """The primary replica path (used in error messages)."""
+        return self._stores[0].path
+
+    @property
+    def replica_paths(self) -> Tuple[str, ...]:
+        return tuple(store.path for store in self._stores)
+
+    @property
+    def generation(self) -> Optional[int]:
+        return self._generation
+
+    def exists(self) -> bool:
+        return any(store.exists() for store in self._stores)
+
+    @staticmethod
+    def _replica_save(store: CheckpointStore, stamped: "_Generational") -> None:
+        """Write one replica, recreating its directory if the whole
+        failure domain (e.g. a wiped replica volume) is gone."""
+        parent = os.path.dirname(store.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        store.save(stamped)
+
+    def _scan_generation(self) -> int:
+        """Highest generation readable from any replica (0 when none)."""
+        best = 0
+        for store in self._stores:
+            if not store.exists():
+                continue
+            try:
+                raw = store.load()
+            except (CheckpointCorrupt, RecoveryError):
+                continue
+            if isinstance(raw, _Generational):
+                best = max(best, raw.generation)
+        return best
+
+    def save(self, state: object) -> None:
+        """Stamp ``state`` with the next generation and fan out.
+
+        Raises :class:`~repro.errors.RecoveryError` when fewer than
+        ``quorum`` replicas accept the write; the generation is *not*
+        rolled back in that case (the replicas that did land are valid
+        and newest, and the next load repairs the rest).
+        """
+        if self._generation is None:
+            self._generation = self._scan_generation()
+        self._generation += 1
+        stamped = _Generational(self._generation, state)
+        failures: List[Tuple[str, Exception]] = []
+        for store in self._stores:
+            try:
+                failpoints.maybe_fail("checkpoint.replica_write")
+                self._replica_save(store, stamped)
+            except Exception as error:
+                failures.append((store.path, error))
+                if self._diagnostics is not None:
+                    self._diagnostics.record_replica_write_failure(
+                        store.path, str(error)
+                    )
+        self.write_failures += len(failures)
+        written = len(self._stores) - len(failures)
+        if written < self.quorum:
+            detail = "; ".join(
+                f"{path}: {error}" for path, error in failures[:3]
+            )
+            raise RecoveryError(
+                f"checkpoint write quorum failed: {written}/"
+                f"{len(self._stores)} replicas written "
+                f"(need {self.quorum}): {detail}"
+            ) from failures[-1][1]
+
+    def load(self, *, diagnostics: Optional[Diagnostics] = None) -> object:
+        """Return the newest valid state across replicas, repairing others.
+
+        Replica-local ``.prev`` fallback happens inside each
+        :class:`CheckpointStore`; this layer then arbitrates by
+        generation.  After the winner is chosen, every replica that was
+        missing, corrupt, or stale is rewritten with the winning stamped
+        state (best effort — a replica that cannot be repaired is warned
+        about and retried on the next save/load).
+        """
+        best_generation = -1
+        best_stamped: Optional[_Generational] = None
+        outcomes: List[Tuple[CheckpointStore, str, Optional[int]]] = []
+        last_error: Optional[Exception] = None
+        for store in self._stores:
+            if not store.exists():
+                outcomes.append((store, "missing", None))
+                continue
+            try:
+                raw = store.load(diagnostics=diagnostics)
+            except (CheckpointCorrupt, RecoveryError) as error:
+                last_error = error
+                outcomes.append((store, "corrupt", None))
+                continue
+            if isinstance(raw, _Generational):
+                stamped = raw
+            else:
+                # A pre-replication single-store file: adopt it as
+                # generation 0 so upgrades in place keep their state.
+                stamped = _Generational(0, raw)
+            outcomes.append((store, "ok", stamped.generation))
+            if stamped.generation > best_generation:
+                best_generation = stamped.generation
+                best_stamped = stamped
+        if best_stamped is None:
+            if all(outcome == "missing" for _, outcome, _ in outcomes):
+                raise RecoveryError(
+                    f"no checkpoint at any replica of {self.path} "
+                    f"(replicas: {', '.join(self.replica_paths)})"
+                )
+            assert last_error is not None
+            raise last_error
+        for store, outcome, generation in outcomes:
+            if outcome == "ok" and generation == best_generation:
+                continue
+            reason = (
+                outcome
+                if outcome != "ok"
+                else f"stale (generation {generation} < {best_generation})"
+            )
+            try:
+                self._replica_save(store, best_stamped)
+            except Exception as error:  # repair is best effort
+                if diagnostics is not None:
+                    diagnostics.warn(
+                        f"checkpoint replica {store.path} is {reason} and "
+                        f"could not be repaired ({error})"
+                    )
+                continue
+            self.repairs += 1
+            if self._repair_counter is not None:
+                self._repair_counter.inc()
+            if diagnostics is not None:
+                diagnostics.record_replica_repaired()
+                diagnostics.warn(
+                    f"checkpoint replica {store.path} was {reason}; "
+                    f"repaired to generation {best_generation}"
+                )
+        self._generation = best_generation
+        return best_stamped.state
+
+
+#: Anything the runner/executor/serve layers accept as a checkpoint store.
+StoreLike = Union[CheckpointStore, ReplicatedCheckpointStore]
+
+
+@dataclass(frozen=True)
 class RetryPolicy:
     """Retry/backoff configuration for transient source failures.
 
@@ -362,6 +600,15 @@ class RetryPolicy:
     row resets the count.  Delays grow geometrically from ``backoff`` by
     ``backoff_factor`` up to ``max_backoff``.  Only ``retryable``
     exception types are retried — anything else propagates immediately.
+
+    ``jitter`` spreads the delay: with jitter ``j`` the sleep before
+    attempt ``n`` is drawn uniformly from
+    ``[base*(1-j), base)`` where ``base`` is the deterministic geometric
+    delay.  The default of 0 keeps the exact legacy schedule (so timing
+    tests stay byte-for-byte deterministic); reconnect storms — many
+    clients losing the same server at the same instant — should use full
+    jitter (``jitter=1.0``) so their retries decorrelate instead of
+    hammering the server in lockstep.
     """
 
     max_retries: int = 0
@@ -369,6 +616,7 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     max_backoff: float = 30.0
     retryable: tuple = (TransientSourceError, OSError)
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -381,13 +629,26 @@ class RetryPolicy:
             raise ValueError(
                 f"backoff_factor must be >= 1, got {self.backoff_factor}"
             )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
 
-    def delay(self, attempt: int) -> float:
-        """Sleep before retry number ``attempt`` (1-based)."""
-        return min(
+    def delay(
+        self, attempt: int, rng: Optional[Callable[[], float]] = None
+    ) -> float:
+        """Sleep before retry number ``attempt`` (1-based).
+
+        ``rng`` is a 0-argument callable returning a float in ``[0, 1)``
+        (default :func:`random.random`); inject a deterministic one in
+        tests.  It is only consulted when ``jitter > 0``.
+        """
+        base = min(
             self.backoff * self.backoff_factor ** max(attempt - 1, 0),
             self.max_backoff,
         )
+        if self.jitter <= 0.0:
+            return base
+        sample = (rng if rng is not None else random.random)()
+        return base * (1.0 - self.jitter) + base * self.jitter * sample
 
 
 @dataclass(frozen=True)
@@ -446,7 +707,7 @@ class RecoveringStreamRunner:
         pattern: CompiledPattern,
         source_factory: Callable[[int], Iterator[Tuple[int, Mapping[str, object]]]],
         *,
-        store: Optional[CheckpointStore] = None,
+        store: Optional[StoreLike] = None,
         checkpoints: Optional[CheckpointPolicy] = None,
         retry: Optional[RetryPolicy] = None,
         limits: Optional[ResourceLimits] = None,
@@ -457,6 +718,7 @@ class RecoveringStreamRunner:
         diagnostics: Optional[Diagnostics] = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[Callable[[], float]] = None,
         stop: Optional[Callable[[], Optional[str]]] = None,
         trace=None,
     ):
@@ -475,6 +737,7 @@ class RecoveringStreamRunner:
         self.diagnostics = diagnostics if diagnostics is not None else Diagnostics()
         self._clock = clock
         self._sleep = sleep
+        self._rng = rng
         self._stop = stop
         # Optional flight-recorder trace (repro.obs.Trace): checkpoint
         # writes and restores get spans; None costs nothing.
@@ -505,6 +768,7 @@ class RecoveringStreamRunner:
 
     def _restore_inner(self) -> Tuple[OpsStreamMatcher, int]:
         assert self._store is not None
+        failpoints.maybe_fail("recovery.restore")
         state = self._store.load(diagnostics=self.diagnostics)
         if not isinstance(state, RunnerCheckpoint):
             raise RecoveryError(
@@ -615,7 +879,7 @@ class RecoveringStreamRunner:
                 failures += 1
                 if failures > self._retry.max_retries:
                     raise
-                delay = self._retry.delay(failures)
+                delay = self._retry.delay(failures, rng=self._rng)
                 self.diagnostics.record_retry(
                     f"source failed at offset {self.source_offset} "
                     f"({error}); reopening in {delay:g}s "

@@ -166,6 +166,8 @@ class Diagnostics:
         "checkpoints_restored",
         "duplicates_suppressed",
         "dropped_regions",
+        "replicas_repaired",
+        "replica_write_failures",
         "plan_cache_hits",
         "plan_cache_misses",
         "_lock",
@@ -185,6 +187,11 @@ class Diagnostics:
         self.checkpoints_restored = 0
         self.duplicates_suppressed = 0
         self.dropped_regions = 0
+        # Replicated-checkpoint divergence (see ReplicatedCheckpointStore):
+        # repairs happen on load, write failures on save.  Both also emit
+        # a warning, so a diverged fleet is never a silently-ok run.
+        self.replicas_repaired = 0
+        self.replica_write_failures = 0
         # Plan-cache traffic for this execution (0 or 1 of each per query;
         # both stay 0 on cache-bypass paths).  Counts, not failures.
         self.plan_cache_hits = 0
@@ -239,6 +246,19 @@ class Diagnostics:
         with self._lock:
             self.dropped_regions += 1
 
+    def record_replica_repaired(self) -> None:
+        """One stale/corrupt/missing checkpoint replica rewritten on load."""
+        with self._lock:
+            self.replicas_repaired += 1
+
+    def record_replica_write_failure(self, path: str, reason: str) -> None:
+        """One replica rejected a checkpoint write (counted + warned)."""
+        with self._lock:
+            self.replica_write_failures += 1
+            self.warnings.append(
+                f"checkpoint replica write failed: {path}: {reason}"
+            )
+
     def record_plan_cache(self, hit: bool) -> None:
         """One keyed plan-cache lookup (bypass paths record nothing)."""
         with self._lock:
@@ -260,6 +280,8 @@ class Diagnostics:
             self.checkpoints_restored += other.checkpoints_restored
             self.duplicates_suppressed += other.duplicates_suppressed
             self.dropped_regions += other.dropped_regions
+            self.replicas_repaired += other.replicas_repaired
+            self.replica_write_failures += other.replica_write_failures
             self.plan_cache_hits += other.plan_cache_hits
             self.plan_cache_misses += other.plan_cache_misses
 
@@ -304,6 +326,8 @@ class Diagnostics:
                 "checkpoints_restored": self.checkpoints_restored,
                 "duplicates_suppressed": self.duplicates_suppressed,
                 "dropped_regions": self.dropped_regions,
+                "replicas_repaired": self.replicas_repaired,
+                "replica_write_failures": self.replica_write_failures,
                 "plan_cache_hits": self.plan_cache_hits,
                 "plan_cache_misses": self.plan_cache_misses,
             },
@@ -358,6 +382,10 @@ class Diagnostics:
             counters.get("duplicates_suppressed", 0)
         )
         diagnostics.dropped_regions = int(counters.get("dropped_regions", 0))
+        diagnostics.replicas_repaired = int(counters.get("replicas_repaired", 0))
+        diagnostics.replica_write_failures = int(
+            counters.get("replica_write_failures", 0)
+        )
         diagnostics.plan_cache_hits = int(counters.get("plan_cache_hits", 0))
         diagnostics.plan_cache_misses = int(counters.get("plan_cache_misses", 0))
         return diagnostics

@@ -21,13 +21,24 @@ speaking a newline-delimited JSON protocol:
   graceful drain, and streaming subscriptions with per-subscriber
   exactly-once delivery;
 - :mod:`repro.serve.client` — a thin blocking client
-  (:class:`ServeClient`) for scripts, benchmarks, and the CLI.
+  (:class:`ServeClient`) for scripts, benchmarks, and the CLI, with
+  transparent failover: full-jitter reconnect (:class:`FailoverPolicy`),
+  idempotent request keys deduplicated server-side, subscription resume
+  from the last acked sequence, and a typed
+  :class:`ConnectionLostError` when retries run out.
 
 See ``docs/serving.md`` for the protocol and semantics, and
 ``python -m repro serve --help`` for the CLI entry point.
 """
 
-from repro.serve.client import QueryReply, ServeClient, ServeError
+from repro.serve.client import (
+    ConnectionLostError,
+    FailoverPolicy,
+    QueryReply,
+    ServeClient,
+    ServeError,
+    SubscriptionRow,
+)
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     ProtocolError,
@@ -36,18 +47,27 @@ from repro.serve.protocol import (
     error_payload,
 )
 from repro.serve.server import QueryServer, ServerThread
-from repro.serve.tenants import AdmissionController, Rejection, TenantQuota
+from repro.serve.tenants import (
+    AdmissionController,
+    Rejection,
+    RequestLedger,
+    TenantQuota,
+)
 
 __all__ = [
     "AdmissionController",
+    "ConnectionLostError",
+    "FailoverPolicy",
     "MAX_FRAME_BYTES",
     "ProtocolError",
     "QueryReply",
     "QueryServer",
     "Rejection",
+    "RequestLedger",
     "ServeClient",
     "ServeError",
     "ServerThread",
+    "SubscriptionRow",
     "TenantQuota",
     "decode_frame",
     "encode_frame",

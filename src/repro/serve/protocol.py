@@ -26,6 +26,28 @@ frame per match, and a closing ``{"event": "end"}`` summary.  ``seq``
 is the match's absolute end position in the stream — stable across
 server restarts — so a reconnecting subscriber passes its highest seen
 ``seq`` as ``after_seq`` and receives each match exactly once.
+
+``query`` requests may carry an idempotency token::
+
+    {"id": 3, "op": "query", "sql": "...", "request_key": "a1b2c3-3"}
+
+``request_key`` is an opaque non-empty string, unique per *logical*
+request and reused verbatim when the client retries after a dropped
+connection.  The server keeps a bounded per-tenant LRU of completed
+responses keyed by it; a retried key is answered from that ledger —
+flagged ``"deduplicated": true`` — instead of re-executing, so
+connection loss between execution and delivery cannot double-run a
+query.  Keys are scoped per tenant; admission rejections are never
+stored (a retry re-attempts admission).
+
+A subscription the *server* cuts short (graceful drain or forced
+restart) ends with a retryable ``unavailable`` error frame rather than
+a clean ``end`` — a clean ``end`` means the stream truly completed.
+Failover clients treat ``unavailable`` like a dropped connection and
+resume from their last acked ``seq``.  The client-side failover layer
+additionally defines the code ``connection_lost`` for the typed error
+it raises when reconnect retries are exhausted — that code never
+crosses the wire; it is produced by the client itself.
 """
 
 from __future__ import annotations

@@ -52,12 +52,19 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Mapping, Optional
 
+from repro import failpoints
 from repro.engine.catalog import Catalog
 from repro.engine.executor import Executor
 from repro.errors import ExecutionError, ReproError
 from repro.obs import MetricsRegistry, SlowQueryLog
 from repro.pattern.predicates import AttributeDomains
-from repro.recovery import CheckpointPolicy, CheckpointStore, RunnerCheckpoint
+from repro.recovery import (
+    CheckpointPolicy,
+    CheckpointStore,
+    ReplicatedCheckpointStore,
+    RunnerCheckpoint,
+    StoreLike,
+)
 from repro.resilience import CancelToken, Diagnostics
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
@@ -71,6 +78,7 @@ from repro.serve.tenants import (
     BACKPRESSURE_RETRY_AFTER,
     AdmissionController,
     Rejection,
+    RequestLedger,
     TenantQuota,
 )
 from repro.sqlts.parser import parse_query
@@ -129,6 +137,7 @@ class QueryServer:
         query_workers: int = 1,
         parallel_mode: str = "auto",
         checkpoint_dir: Optional[str] = None,
+        checkpoint_replicas: int = 1,
         subscription_checkpoint_every: int = 256,
         drain_grace: float = 5.0,
         host: str = "127.0.0.1",
@@ -138,10 +147,16 @@ class QueryServer:
         metrics: Optional[MetricsRegistry] = None,
         slow_query_threshold: float = 1.0,
         slow_query_log: Optional[object] = None,
+        slow_query_log_max_bytes: Optional[int] = None,
+        request_ledger_size: int = 256,
     ):
         if pool_workers < 1:
             raise ExecutionError(
                 f"pool_workers must be positive, got {pool_workers}"
+            )
+        if checkpoint_replicas < 1:
+            raise ExecutionError(
+                f"checkpoint_replicas must be positive, got {checkpoint_replicas}"
             )
         self._catalog = catalog
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -164,14 +179,20 @@ class QueryServer:
             max_pending if max_pending is not None else pool_workers * 4
         )
         self._checkpoint_dir = checkpoint_dir
+        self._checkpoint_replicas = checkpoint_replicas
         self._subscription_checkpoint_every = subscription_checkpoint_every
         self._drain_grace = drain_grace
         self._host = host
         self._port = port
         self._allow_remote_shutdown = allow_remote_shutdown
         self._fault_injector = fault_injector
+        self._ledger = RequestLedger(request_ledger_size)
         self._slow_log = (
-            SlowQueryLog(slow_query_log, threshold_s=slow_query_threshold)
+            SlowQueryLog(
+                slow_query_log,
+                threshold_s=slow_query_threshold,
+                max_bytes=slow_query_log_max_bytes,
+            )
             if slow_query_log is not None
             else None
         )
@@ -189,6 +210,20 @@ class QueryServer:
             "repro_serve_slow_queries_total",
             "Queries whose wall time crossed the slow-query threshold.",
         )
+        self._dedup_counter = self.metrics.counter(
+            "repro_serve_request_dedup_total",
+            "Retried requests replayed from the ledger instead of re-run.",
+            labelnames=("tenant",),
+        )
+        self._replica_repair_counter = self.metrics.counter(
+            "repro_checkpoint_replica_repairs_total",
+            "Stale/corrupt/missing checkpoint replicas rewritten on load.",
+        )
+        # When a chaos harness armed failpoints before constructing this
+        # server, surface their hit/fire counters through its registry so
+        # the metrics op shows exactly which faults actually fired.
+        if failpoints.armed():
+            failpoints.set_metrics(self.metrics)
 
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -210,6 +245,12 @@ class QueryServer:
         self._loop = asyncio.get_running_loop()
         if self._checkpoint_dir:
             os.makedirs(self._checkpoint_dir, exist_ok=True)
+            for index in range(self._checkpoint_replicas):
+                if self._checkpoint_replicas > 1:
+                    os.makedirs(
+                        os.path.join(self._checkpoint_dir, f"replica{index}"),
+                        exist_ok=True,
+                    )
         self._server = await asyncio.start_server(
             self._handle_connection,
             self._host,
@@ -373,6 +414,12 @@ class QueryServer:
             discarded += len(chunk)
 
     async def _send(self, writer: asyncio.StreamWriter, payload: dict) -> None:
+        # serve.send_frame raising an OSError here is indistinguishable,
+        # from the connection's point of view, from the peer vanishing:
+        # the handler unwinds and closes the socket, which is exactly how
+        # the chaos matrix simulates a dropped connection at a chosen
+        # frame (see repro.failpoints).
+        failpoints.maybe_fail("serve.send_frame")
         writer.write(encode_frame(payload))
         await writer.drain()
 
@@ -470,6 +517,9 @@ class QueryServer:
                 "subscriptions": len(self._active_subscriptions),
                 "subscription_detail": subscriptions,
                 "slow_queries": int(self._slow_queries_counter.value),
+                "request_dedup": self._ledger.snapshot(),
+                "checkpoint_replicas": self._checkpoint_replicas,
+                "replica_repairs": int(self._replica_repair_counter.value),
                 "tables": sorted(table.name for table in self._catalog),
             },
         }
@@ -612,6 +662,29 @@ class QueryServer:
                 writer, self._bad(rid, "'workers' must be a positive int")
             )
             return
+        request_key = request.get("request_key")
+        if request_key is not None and (
+            not isinstance(request_key, str) or not request_key
+        ):
+            await self._send(
+                writer,
+                self._bad(rid, "'request_key' must be a non-empty string"),
+            )
+            return
+        if request_key is not None:
+            # Idempotent retry: a client that lost its connection after
+            # we executed (but before it read the response) resends under
+            # the same key.  Replay the stored outcome — checked *before*
+            # admission, so a replay costs no quota and cannot be bounced
+            # by backpressure the original already paid for.
+            cached = self._ledger.get(tenant, request_key)
+            if cached is not None:
+                self._dedup_counter.labels(tenant=tenant).inc()
+                response = dict(cached)
+                response["id"] = rid
+                response["deduplicated"] = True
+                await self._send(writer, response)
+                return
 
         if not await self._admit(tenant, rid, writer):
             return
@@ -670,6 +743,12 @@ class QueryServer:
             matches=matches,
         ):
             self._slow_queries_counter.inc()
+        if request_key is not None:
+            # Record the outcome (success *or* execution error: the
+            # request ran once; a retry deserves its result, not a second
+            # execution) before attempting the send — the send is the
+            # step a connection loss can destroy.
+            self._ledger.put(tenant, request_key, dict(response))
         await self._send(writer, response)
 
     def _run_query(self, tenant, sql, limits, token, workers):
@@ -684,6 +763,33 @@ class QueryServer:
         )
 
     # -- subscriptions ---------------------------------------------------
+
+    def _subscription_store(
+        self,
+        tenant: str,
+        subscription: str,
+        diagnostics: Optional[Diagnostics] = None,
+    ) -> StoreLike:
+        """The checkpoint store for one subscription.
+
+        With ``checkpoint_replicas > 1`` the same filename fans out to
+        ``replica0..N-1`` subdirectories of the checkpoint dir — one
+        failure domain per subdirectory (mount them on different volumes
+        in production), repaired on load and counted in the registry.
+        """
+        filename = (
+            f"{_safe_filename(tenant)}__{_safe_filename(subscription)}.ckpt"
+        )
+        if self._checkpoint_replicas <= 1:
+            return CheckpointStore(os.path.join(self._checkpoint_dir, filename))
+        return ReplicatedCheckpointStore(
+            [
+                os.path.join(self._checkpoint_dir, f"replica{index}", filename)
+                for index in range(self._checkpoint_replicas)
+            ],
+            repair_counter=self._replica_repair_counter,
+            diagnostics=diagnostics,
+        )
 
     def _table_source(self, sql: str):
         """An offset-addressable source over the query's registered table.
@@ -776,13 +882,11 @@ class QueryServer:
             try:
                 store = None
                 resumed = False
+                diagnostics = Diagnostics()
                 if self._checkpoint_dir:
-                    path = os.path.join(
-                        self._checkpoint_dir,
-                        f"{_safe_filename(tenant)}__"
-                        f"{_safe_filename(subscription)}.ckpt",
+                    store = self._subscription_store(
+                        tenant, subscription, diagnostics
                     )
-                    store = CheckpointStore(path)
                     # Resume from the checkpoint ONLY if the client
                     # confirms (via after_seq) receipt of every match
                     # the checkpoint's high-water mark would suppress.
@@ -795,7 +899,6 @@ class QueryServer:
                         store.exists()
                         and after_seq >= _checkpoint_high_water(store)
                     )
-                diagnostics = Diagnostics()
                 streaming = self._executor.stream(
                     sql,
                     self._table_source(sql),
@@ -851,6 +954,23 @@ class QueryServer:
                         sub_state["delivered"] = delivered
                         sub_state["last_seq"] = last_seq
                     elif kind == "end":
+                        if token.cancelled:
+                            # The SERVER cut this stream short (drain or
+                            # forced restart), not the query: a clean
+                            # ``end`` would tell the subscriber the
+                            # stream is complete.  Send a retryable
+                            # ``unavailable`` error instead so failover
+                            # clients resume from last_seq elsewhere.
+                            payload = error_payload(
+                                "unavailable",
+                                f"subscription interrupted ({token()}); "
+                                f"resume with after_seq={last_seq}",
+                                retry_after=BACKPRESSURE_RETRY_AFTER,
+                                request_id=rid,
+                            )
+                            payload["event"] = "error"
+                            await self._send(writer, payload)
+                            break
                         await self._send(
                             writer,
                             {

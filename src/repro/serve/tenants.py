@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Union
 
@@ -155,6 +156,63 @@ class _TenantState:
         self.allowance = min(
             self.allowance + elapsed * rate, self.quota.burst_rows
         )
+
+
+class RequestLedger:
+    """Bounded per-tenant LRU of completed idempotent request responses.
+
+    The server-side half of client failover: a client that loses its
+    connection after the server executed a query — but before the
+    response arrived — retries the same logical request under the same
+    ``request_key``.  The ledger replays the stored response instead of
+    re-executing, so a retried query is charged and run exactly once.
+
+    Keys are namespaced per tenant (one tenant can never replay
+    another's responses) and evicted LRU beyond ``capacity`` entries per
+    tenant, bounding memory under sustained traffic; an evicted entry
+    simply means a sufficiently-stale retry re-executes, which is the
+    at-least-once floor failover degrades to.  Thread-safe.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self._lock = threading.Lock()
+        self._per_tenant: dict[str, OrderedDict[str, dict]] = {}
+
+    def get(self, tenant: str, key: str) -> Optional[dict]:
+        """The stored response for ``key``, or None (counts a hit)."""
+        with self._lock:
+            cache = self._per_tenant.get(tenant)
+            if cache is None:
+                return None
+            response = cache.get(key)
+            if response is None:
+                return None
+            cache.move_to_end(key)
+            self.hits += 1
+            return response
+
+    def put(self, tenant: str, key: str, response: dict) -> None:
+        """Record the completed response for ``key`` (LRU-evicting)."""
+        with self._lock:
+            cache = self._per_tenant.setdefault(tenant, OrderedDict())
+            if key in cache:
+                cache.move_to_end(key)
+            cache[key] = response
+            while len(cache) > self.capacity:
+                cache.popitem(last=False)
+
+    def snapshot(self) -> dict:
+        """JSON-ready usage view for the ``stats`` op."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "entries": sum(len(c) for c in self._per_tenant.values()),
+                "capacity_per_tenant": self.capacity,
+            }
 
 
 class AdmissionController:

@@ -1,0 +1,214 @@
+"""The failpoint registry: spec grammar, firing rules, zero-cost off."""
+
+import pytest
+
+from repro import failpoints
+from repro.errors import FailpointError, TransientSourceError
+from repro.failpoints import FailpointSpecError
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """Every test starts and ends with nothing armed."""
+    failpoints.reset()
+    yield
+    failpoints.reset()
+
+
+class TestOffByDefault:
+    def test_nothing_armed_never_fires(self):
+        assert failpoints.armed() is False
+        assert failpoints.maybe_fail("checkpoint.rename") is False
+        assert failpoints.mangle("checkpoint.write", b"abc") == b"abc"
+
+    def test_unarmed_sites_are_not_counted(self):
+        failpoints.configure("other.site")
+        failpoints.maybe_fail("checkpoint.rename")
+        assert failpoints.hits("checkpoint.rename") == 0
+
+
+class TestSpecGrammar:
+    def test_single_entry(self):
+        assert failpoints.activate_spec("checkpoint.fsync=skip") == 1
+        assert failpoints.active() == {"checkpoint.fsync": "skip"}
+
+    def test_multiple_entries_semicolon_and_comma(self):
+        count = failpoints.activate_spec(
+            "checkpoint.fsync=skip; checkpoint.write=torn:12,"
+            "serve.send_frame=raise:ConnectionResetError@3*1"
+        )
+        assert count == 3
+        assert failpoints.active() == {
+            "checkpoint.fsync": "skip",
+            "checkpoint.write": "torn:12",
+            "serve.send_frame": "raise:ConnectionResetError@3*1",
+        }
+
+    def test_raise_default_exception_is_failpoint_error(self):
+        failpoints.activate_spec("a.site=raise")
+        with pytest.raises(FailpointError, match="a.site"):
+            failpoints.maybe_fail("a.site")
+
+    def test_raise_named_exception(self):
+        failpoints.activate_spec("a.site=raise:TransientSourceError")
+        with pytest.raises(TransientSourceError):
+            failpoints.maybe_fail("a.site")
+
+    @pytest.mark.parametrize(
+        "bad, match",
+        [
+            ("", "empty"),
+            ("justasite", "malformed"),
+            ("a.site=", "malformed"),
+            ("=raise", "malformed"),
+            ("a.site=explode", "unknown failpoint action"),
+            ("a.site=raise:SystemExit", "unknown exception"),
+            ("a.site=torn:xyz", "bad torn byte count"),
+            ("a.site=skip:arg", "skip takes no argument"),
+            ("a.site=raise@zero", "bad @hit"),
+            ("a.site=raise*many", r"bad \*times"),
+        ],
+    )
+    def test_malformed_specs_raise(self, bad, match):
+        with pytest.raises(FailpointSpecError, match=match):
+            failpoints.activate_spec(bad)
+        # And arbitrary exception names can never be smuggled in.
+        assert failpoints.active() in ({}, failpoints.active())
+
+    def test_configure_validates_arguments(self):
+        with pytest.raises(FailpointSpecError):
+            failpoints.configure("a.site", at_hit=0)
+        with pytest.raises(FailpointSpecError):
+            failpoints.configure("a.site", times=0)
+        with pytest.raises(FailpointSpecError):
+            failpoints.configure("bad=name")
+
+
+class TestFiringRules:
+    def test_at_hit_defers_the_first_fires(self):
+        failpoints.activate_spec("a.site=raise@3")
+        assert failpoints.maybe_fail("a.site") is False
+        assert failpoints.maybe_fail("a.site") is False
+        with pytest.raises(FailpointError):
+            failpoints.maybe_fail("a.site")
+        assert failpoints.hits("a.site") == 3
+        assert failpoints.fires("a.site") == 1
+
+    def test_times_bounds_total_fires(self):
+        failpoints.activate_spec("a.site=skip*2")
+        assert failpoints.maybe_fail("a.site") is True
+        assert failpoints.maybe_fail("a.site") is True
+        assert failpoints.maybe_fail("a.site") is False  # budget spent
+        assert failpoints.fires("a.site") == 2
+        assert failpoints.hits("a.site") == 3
+
+    def test_at_hit_and_times_compose(self):
+        failpoints.activate_spec("a.site=raise@2*1")
+        assert failpoints.maybe_fail("a.site") is False
+        with pytest.raises(FailpointError):
+            failpoints.maybe_fail("a.site")
+        assert failpoints.maybe_fail("a.site") is False
+
+    def test_skip_returns_true_to_skip_guarded_operation(self):
+        failpoints.activate_spec("checkpoint.fsync=skip")
+        fsynced = not failpoints.maybe_fail("checkpoint.fsync")
+        assert fsynced is False
+
+
+class TestMangle:
+    def test_torn_truncates_to_half_by_default(self):
+        failpoints.activate_spec("checkpoint.write=torn")
+        assert failpoints.mangle("checkpoint.write", b"12345678") == b"1234"
+
+    def test_torn_keep_bytes(self):
+        failpoints.activate_spec("checkpoint.write=torn:3")
+        assert failpoints.mangle("checkpoint.write", b"12345678") == b"123"
+
+    def test_skip_drops_the_payload(self):
+        failpoints.activate_spec("checkpoint.write=skip")
+        assert failpoints.mangle("checkpoint.write", b"12345678") == b""
+
+    def test_raise_raises(self):
+        failpoints.activate_spec("checkpoint.write=raise:OSError")
+        with pytest.raises(OSError):
+            failpoints.mangle("checkpoint.write", b"12345678")
+
+    def test_exhausted_torn_passes_payload_through(self):
+        failpoints.activate_spec("checkpoint.write=torn*1")
+        failpoints.mangle("checkpoint.write", b"12345678")
+        assert failpoints.mangle("checkpoint.write", b"12345678") == b"12345678"
+
+
+class TestScoped:
+    def test_scoped_disarms_on_exit(self):
+        with failpoints.scoped("a.site=raise"):
+            assert failpoints.armed() is True
+        assert failpoints.armed() is False
+
+    def test_scoped_disarms_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with failpoints.scoped("a.site=raise"):
+                raise RuntimeError("boom")
+        assert failpoints.armed() is False
+
+    def test_nested_disjoint_scopes_compose(self):
+        with failpoints.scoped("a.site=raise"):
+            with failpoints.scoped("b.site=skip"):
+                assert set(failpoints.active()) == {"a.site", "b.site"}
+            assert set(failpoints.active()) == {"a.site"}
+        assert failpoints.active() == {}
+
+    def test_clear_single_site(self):
+        failpoints.activate_spec("a.site=raise;b.site=skip")
+        failpoints.clear("a.site")
+        assert set(failpoints.active()) == {"b.site"}
+        failpoints.clear()
+        assert failpoints.armed() is False
+
+
+class TestEnvActivation:
+    def test_load_from_env(self):
+        armed = failpoints.load_from_env({"REPRO_FAILPOINTS": "a.site=skip"})
+        assert armed == 1
+        assert failpoints.active() == {"a.site": "skip"}
+
+    def test_empty_env_is_a_no_op(self):
+        assert failpoints.load_from_env({}) == 0
+        assert failpoints.armed() is False
+
+    def test_malformed_env_spec_fails_loudly(self):
+        with pytest.raises(FailpointSpecError):
+            failpoints.load_from_env({"REPRO_FAILPOINTS": "nonsense"})
+
+
+class TestMetrics:
+    def test_hit_and_fire_counters(self):
+        registry = MetricsRegistry()
+        failpoints.set_metrics(registry)
+        failpoints.activate_spec("a.site=skip@2")
+        failpoints.maybe_fail("a.site")
+        failpoints.maybe_fail("a.site")
+        hits = registry.counter(
+            "repro_failpoint_hits_total", labelnames=("site",)
+        )
+        fires = registry.counter(
+            "repro_failpoint_fires_total", labelnames=("site",)
+        )
+        assert hits.labels(site="a.site").value == 2
+        assert fires.labels(site="a.site").value == 1
+
+    def test_counters_snapshot(self):
+        failpoints.activate_spec("a.site=skip;b.site=raise@9")
+        failpoints.maybe_fail("a.site")
+        failpoints.maybe_fail("b.site")
+        assert failpoints.counters() == {
+            "a.site": {"hits": 1, "fires": 1},
+            "b.site": {"hits": 1, "fires": 0},
+        }
+
+    def test_reconfigure_resets_counters(self):
+        failpoints.activate_spec("a.site=skip")
+        failpoints.maybe_fail("a.site")
+        failpoints.activate_spec("a.site=skip")
+        assert failpoints.hits("a.site") == 0

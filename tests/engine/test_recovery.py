@@ -5,7 +5,8 @@ import os
 
 import pytest
 
-from repro.errors import CheckpointCorrupt, RecoveryError
+from repro import failpoints
+from repro.errors import CheckpointCorrupt, FailpointError, RecoveryError
 from repro.match.streaming import OpsStreamMatcher
 from repro.pattern.compiler import compile_pattern
 from repro.pattern.predicates import comparison
@@ -118,6 +119,61 @@ class TestCheckpointStore:
         store.save("second")
         assert not os.path.exists(store.previous_path)
         assert store.load() == "second"
+
+
+class TestCrashConsistency:
+    """Failpoint-driven 'kill -9 at the worst moment' races, made
+    deterministic: every interrupted save must leave a loadable store."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_failpoints(self):
+        failpoints.reset()
+        yield
+        failpoints.reset()
+
+    def test_torn_temp_write_falls_back_to_previous(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck")
+        store.save("first")
+        with failpoints.scoped("checkpoint.write=torn*1"):
+            store.save("second")  # frame truncated on disk
+        diagnostics = Diagnostics()
+        assert store.load(diagnostics=diagnostics) == "first"
+        assert any("truncated" in w or "corrupt" in w for w in diagnostics.warnings)
+        # A later healthy save fully recovers the store.
+        store.save("third")
+        assert store.load() == "third"
+
+    def test_lost_fsync_is_silent_when_no_crash_follows(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck")
+        with failpoints.scoped("checkpoint.fsync=skip"):
+            store.save("state")
+            assert failpoints.fires("checkpoint.fsync") == 1
+        assert store.load() == "state"
+
+    def test_crash_between_rotation_and_final_rename(self, tmp_path):
+        # The .prev rotation happened but the new file never landed: the
+        # current path is GONE, and recovery must come from .prev.
+        store = CheckpointStore(tmp_path / "ck")
+        store.save("first")
+        store.save("second")
+        with failpoints.scoped("checkpoint.rename=raise"):
+            with pytest.raises(FailpointError):
+                store.save("third")
+        assert not os.path.exists(store.path)
+        assert os.path.exists(store.previous_path)
+        diagnostics = Diagnostics()
+        assert store.load(diagnostics=diagnostics) == "second"
+        assert any("fallback" in w for w in diagnostics.warnings)
+        # The interrupted store accepts and serves subsequent saves.
+        store.save("fourth")
+        assert store.load() == "fourth"
+
+    def test_torn_first_ever_save_raises_cleanly(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck")
+        with failpoints.scoped("checkpoint.write=torn*1"):
+            store.save("only")
+        with pytest.raises(CheckpointCorrupt):
+            store.load()
 
 
 class TestPatternFingerprint:

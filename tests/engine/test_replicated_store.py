@@ -1,0 +1,162 @@
+"""ReplicatedCheckpointStore: quorum writes, repair-on-load, generations."""
+
+import os
+
+import pytest
+
+from repro import failpoints
+from repro.errors import RecoveryError
+from repro.recovery import CheckpointStore, ReplicatedCheckpointStore
+from repro.resilience import Diagnostics
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    failpoints.reset()
+    yield
+    failpoints.reset()
+
+
+def three_replicas(tmp_path):
+    return [str(tmp_path / f"replica{i}" / "ck") for i in range(3)]
+
+
+def corrupt(path):
+    with open(path, "r+b") as handle:
+        handle.seek(-1, os.SEEK_END)
+        handle.write(b"\xff")
+
+
+class TestConstruction:
+    def test_requires_at_least_one_path(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ReplicatedCheckpointStore([])
+
+    def test_rejects_duplicate_paths(self, tmp_path):
+        path = str(tmp_path / "ck")
+        with pytest.raises(ValueError, match="distinct"):
+            ReplicatedCheckpointStore([path, path])
+
+    def test_quorum_defaults_to_majority(self, tmp_path):
+        store = ReplicatedCheckpointStore(three_replicas(tmp_path))
+        assert store.quorum == 2
+
+    def test_quorum_bounds_validated(self, tmp_path):
+        paths = three_replicas(tmp_path)
+        with pytest.raises(ValueError):
+            ReplicatedCheckpointStore(paths, quorum=0)
+        with pytest.raises(ValueError):
+            ReplicatedCheckpointStore(paths, quorum=4)
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        store = ReplicatedCheckpointStore(three_replicas(tmp_path))
+        assert not store.exists()
+        store.save({"offset": 7})
+        assert store.exists()
+        assert store.load() == {"offset": 7}
+
+    def test_every_replica_is_written(self, tmp_path):
+        paths = three_replicas(tmp_path)
+        ReplicatedCheckpointStore(paths).save("state")
+        for path in paths:
+            assert os.path.exists(path)
+
+    def test_generation_increments_per_save(self, tmp_path):
+        store = ReplicatedCheckpointStore(three_replicas(tmp_path))
+        assert store.generation is None
+        store.save("a")
+        assert store.generation == 1
+        store.save("b")
+        assert store.generation == 2
+
+    def test_fresh_process_continues_above_on_disk_generation(self, tmp_path):
+        paths = three_replicas(tmp_path)
+        first = ReplicatedCheckpointStore(paths)
+        first.save("a")
+        first.save("b")
+        second = ReplicatedCheckpointStore(paths)
+        second.save("c")
+        assert second.generation == 3
+        assert second.load() == "c"
+
+
+class TestRepairOnLoad:
+    def test_corrupt_replica_is_outvoted_and_repaired(self, tmp_path):
+        paths = three_replicas(tmp_path)
+        store = ReplicatedCheckpointStore(paths)
+        store.save("good")
+        corrupt(paths[1])
+        diagnostics = Diagnostics()
+        fresh = ReplicatedCheckpointStore(paths)
+        assert fresh.load(diagnostics=diagnostics) == "good"
+        assert fresh.repairs == 1
+        assert diagnostics.replicas_repaired == 1
+        # The repaired replica now reads clean on its own.
+        assert ReplicatedCheckpointStore([paths[1]]).load() == "good"
+
+    def test_wiped_replica_directory_is_repaired(self, tmp_path):
+        paths = three_replicas(tmp_path)
+        store = ReplicatedCheckpointStore(paths)
+        store.save("good")
+        os.remove(paths[2])
+        fresh = ReplicatedCheckpointStore(paths)
+        assert fresh.load() == "good"
+        assert os.path.exists(paths[2])
+        assert fresh.repairs == 1
+
+    def test_stale_replica_loses_to_newer_generation(self, tmp_path):
+        paths = three_replicas(tmp_path)
+        store = ReplicatedCheckpointStore(paths)
+        store.save("old")
+        # Write a newer generation to replicas 0 and 1 only, simulating a
+        # crash mid-fan-out that left replica 2 behind.
+        partial = ReplicatedCheckpointStore(paths[:2])
+        partial.save("new")
+        fresh = ReplicatedCheckpointStore(paths)
+        assert fresh.load() == "new"
+        assert fresh.repairs == 1  # replica 2 caught up
+        assert ReplicatedCheckpointStore([paths[2]]).load() == "new"
+
+    def test_all_replicas_missing_raises(self, tmp_path):
+        store = ReplicatedCheckpointStore(three_replicas(tmp_path))
+        with pytest.raises(RecoveryError, match="no checkpoint"):
+            store.load()
+
+    def test_legacy_unstamped_file_adopted_as_generation_zero(self, tmp_path):
+        paths = three_replicas(tmp_path)
+        os.makedirs(os.path.dirname(paths[0]), exist_ok=True)
+        CheckpointStore(paths[0]).save("legacy-state")
+        store = ReplicatedCheckpointStore(paths)
+        assert store.load() == "legacy-state"
+        # The next save supersedes the adopted generation everywhere.
+        store.save("upgraded")
+        assert ReplicatedCheckpointStore(paths).load() == "upgraded"
+
+
+class TestQuorumWrites:
+    def test_minority_write_failure_is_tolerated(self, tmp_path):
+        paths = three_replicas(tmp_path)
+        store = ReplicatedCheckpointStore(paths)
+        failpoints.activate_spec("checkpoint.replica_write=raise:OSError*1")
+        store.save("state")  # first replica write fails, quorum still met
+        assert store.write_failures == 1
+        assert store.load() == "state"
+
+    def test_losing_quorum_raises_recovery_error(self, tmp_path):
+        paths = three_replicas(tmp_path)
+        store = ReplicatedCheckpointStore(paths)
+        failpoints.activate_spec("checkpoint.replica_write=raise:OSError*2")
+        with pytest.raises(RecoveryError, match="quorum"):
+            store.save("state")
+
+    def test_write_failures_reach_diagnostics(self, tmp_path):
+        diagnostics = Diagnostics()
+        store = ReplicatedCheckpointStore(
+            three_replicas(tmp_path), diagnostics=diagnostics
+        )
+        failpoints.activate_spec("checkpoint.replica_write=raise:OSError*1")
+        store.save("state")
+        assert diagnostics.replica_write_failures == 1
+        assert any("replica write failed" in w for w in diagnostics.warnings)

@@ -135,6 +135,63 @@ class TestBackoffSchedule:
         assert source.opens == 1  # never reopened
 
 
+class TestJitter:
+    """Full-jitter backoff: delays are randomized *within* the geometric
+    envelope so simultaneous failures don't retry in lockstep."""
+
+    def test_default_jitter_is_zero_and_schedule_exact(self):
+        policy = RetryPolicy(max_retries=3, backoff=0.1)
+        assert policy.jitter == 0.0
+        # Even with an rng supplied, jitter=0 ignores it entirely.
+        assert policy.delay(2, rng=lambda: 0.987) == pytest.approx(0.2)
+
+    def test_full_jitter_spans_zero_to_base(self):
+        policy = RetryPolicy(max_retries=3, backoff=0.1, jitter=1.0)
+        assert policy.delay(2, rng=lambda: 0.0) == pytest.approx(0.0)
+        assert policy.delay(2, rng=lambda: 0.5) == pytest.approx(0.1)
+        assert policy.delay(2, rng=lambda: 0.999) == pytest.approx(0.1998)
+
+    def test_partial_jitter_bounds(self):
+        # jitter=0.5 keeps at least half the base delay.
+        policy = RetryPolicy(max_retries=3, backoff=0.4, jitter=0.5)
+        low = policy.delay(1, rng=lambda: 0.0)
+        high = policy.delay(1, rng=lambda: 0.999)
+        assert low == pytest.approx(0.2)
+        assert high < 0.4
+        for sample in (0.1, 0.3, 0.7, 0.9):
+            delay = policy.delay(1, rng=lambda: sample)
+            assert 0.2 <= delay < 0.4
+
+    def test_jitter_respects_max_backoff_cap(self):
+        policy = RetryPolicy(
+            max_retries=20, backoff=1.0, max_backoff=5.0, jitter=1.0
+        )
+        assert policy.delay(10, rng=lambda: 0.999) < 5.0
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_runner_threads_its_rng_into_the_delay(self):
+        fake = FakeTime()
+        source = FlakySource(6, failures={3: 2})
+        diagnostics = Diagnostics()
+        runner = RecoveringStreamRunner(
+            PATTERN,
+            source.factory,
+            retry=RetryPolicy(max_retries=3, backoff=0.1, jitter=1.0),
+            diagnostics=diagnostics,
+            clock=fake.clock,
+            sleep=fake.sleep,
+            rng=lambda: 0.5,
+        )
+        list(runner.run())
+        # Full jitter with rng pinned at 0.5 halves the geometric delays.
+        assert fake.sleeps == [pytest.approx(0.05), pytest.approx(0.1)]
+
+
 class TestResetOnSuccess:
     def test_successful_row_resets_the_failure_count(self):
         fake = FakeTime()

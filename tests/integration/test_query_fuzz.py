@@ -98,6 +98,30 @@ def test_generated_queries_agree_across_matchers(sql, catalog):
     assert ops == naive
 
 
+def test_residual_on_leading_star_binding_regression():
+    """Fuzz-found: with a leading star and a residual that references its
+    binding (``B.price > A.price`` resolves ``A`` to the run's first
+    row), the element-granular shift must not skip restart positions
+    interior to the star run — a shorter run re-binds ``A`` and can flip
+    the residual's verdict.  On [60, 50, 40, 50] the only match starts
+    one position *inside* the first attempt's A-run."""
+    sql = (
+        "SELECT A.date FROM quote CLUSTER BY name SEQUENCE BY date "
+        "AS (*A, B) WHERE A.price < A.previous.price AND B.price > A.price"
+    )
+    table = Table("quote", [("name", "str"), ("date", "date"), ("price", "float")])
+    base = dt.date(2000, 1, 3)
+    for offset, price in enumerate([60.0, 50.0, 40.0, 50.0]):
+        table.insert(
+            {"name": "AAA", "date": base + dt.timedelta(days=offset), "price": price}
+        )
+    catalog = Catalog([table])
+    ops = Executor(catalog, domains=DOMAINS, matcher="ops").execute(sql)
+    naive = Executor(catalog, domains=DOMAINS, matcher="naive").execute(sql)
+    assert ops == naive
+    assert ops.rows == ((dt.date(2000, 1, 5),),)
+
+
 @settings(max_examples=100, deadline=None)
 @given(queries())
 def test_generated_queries_compile(sql):

@@ -2,6 +2,7 @@
 
 import io
 import json
+import os
 import threading
 
 import pytest
@@ -102,6 +103,66 @@ class TestSinks:
         log = SlowQueryLog(stream, threshold_s=0.0)
         assert log.maybe_record(elapsed_s=1.0) is False
         assert log.write_errors == 1
+
+    def test_rotation_caps_the_log_and_keeps_one_generation(self, tmp_path):
+        target = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(str(target), threshold_s=0.0, max_bytes=400)
+        for index in range(20):
+            log.maybe_record(elapsed_s=1.0, tenant=f"t{index}")
+        assert log.rotations >= 1
+        assert os.path.getsize(target) <= 400
+        rotated = target.with_suffix(".jsonl.1")
+        assert rotated.exists()
+        # Rotation preserves whole lines in both generations, and the
+        # rotated file holds strictly older entries than the live one.
+        old = [
+            json.loads(line)["tenant"]
+            for line in rotated.read_text().splitlines()
+        ]
+        new = [
+            json.loads(line)["tenant"]
+            for line in target.read_text().splitlines()
+        ]
+        assert old and new
+        assert old[-1] == f"t{19 - len(new)}"
+        assert new[-1] == "t19"  # the newest entry always lands live
+        assert log.entries_written == 20
+
+    def test_rotated_path_property(self, tmp_path):
+        target = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(str(target), threshold_s=0.0, max_bytes=100)
+        assert log.rotated_path == str(target) + ".1"
+
+    def test_no_rotation_without_max_bytes(self, tmp_path):
+        target = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(str(target), threshold_s=0.0)
+        for _ in range(50):
+            log.maybe_record(elapsed_s=1.0)
+        assert log.rotations == 0
+        assert not (tmp_path / "slow.jsonl.1").exists()
+
+    def test_entry_larger_than_cap_still_lands(self, tmp_path):
+        target = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(str(target), threshold_s=0.0, max_bytes=10)
+        assert log.maybe_record(elapsed_s=1.0) is True
+        assert log.maybe_record(elapsed_s=2.0) is True
+        assert log.entries_written == 2
+
+    def test_max_bytes_validation(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(io.StringIO(), threshold_s=0.0, max_bytes=0)
+
+    def test_rotation_failure_never_raises(self, tmp_path, monkeypatch):
+        target = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(str(target), threshold_s=0.0, max_bytes=60)
+
+        def broken_replace(src, dst):
+            raise OSError("read-only filesystem")
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        for _ in range(10):
+            assert log.maybe_record(elapsed_s=1.0) is True
+        assert log.rotations == 0
 
     def test_concurrent_writers_emit_whole_lines(self, tmp_path):
         target = tmp_path / "slow.jsonl"

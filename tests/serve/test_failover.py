@@ -1,0 +1,279 @@
+"""Client failover: reconnect, idempotent dedup, subscription resume."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import failpoints
+from repro.serve import (
+    ConnectionLostError,
+    FailoverPolicy,
+    ServeClient,
+    ServeError,
+)
+
+from tests.serve.conftest import CROSSING_QUERY, RISING_QUERY
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    failpoints.reset()
+    yield
+    failpoints.reset()
+
+
+#: Patient real-time policy for tests that restart a server mid-call.
+PATIENT = FailoverPolicy(max_retries=20, backoff=0.05, max_backoff=0.5)
+
+
+class TestConnectionLostError:
+    def test_typing_and_payload(self):
+        error = ConnectionLostError("gone", last_seq=17, attempts=3)
+        assert isinstance(error, ServeError)
+        assert isinstance(error, ConnectionError)
+        assert error.code == "connection_lost"
+        assert error.last_seq == 17
+        assert error.attempts == 3
+        assert not error.retryable
+
+    def test_defaults(self):
+        error = ConnectionLostError("gone")
+        assert error.last_seq == -1
+        assert error.attempts == 0
+
+
+class TestFailoverPolicy:
+    def test_full_jitter_bounds(self):
+        policy = FailoverPolicy(backoff=0.1, jitter=1.0)
+        assert policy.delay(1, rng=lambda: 0.0) == pytest.approx(0.0)
+        assert policy.delay(1, rng=lambda: 0.999) < 0.1
+        assert policy.delay(2, rng=lambda: 0.5) == pytest.approx(0.1)
+
+    def test_no_jitter_is_exact_geometric(self):
+        policy = FailoverPolicy(backoff=0.05, jitter=0.0, max_backoff=0.1)
+        assert [policy.delay(n) for n in (1, 2, 3)] == [
+            pytest.approx(0.05),
+            pytest.approx(0.1),
+            pytest.approx(0.1),  # capped
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailoverPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            FailoverPolicy(jitter=2.0)
+        with pytest.raises(ValueError):
+            FailoverPolicy(backoff_factor=0.5)
+
+
+class TestQueryFailover:
+    def test_query_survives_forced_restart(self, run_server):
+        first = run_server()
+        host, port = first.address
+        with ServeClient(host, port, failover=PATIENT) as client:
+            expected = client.query(CROSSING_QUERY).rows
+
+            def restart():
+                first.force_stop()
+                run_server(port=port)
+
+            restarter = threading.Thread(target=restart)
+            restarter.start()
+            try:
+                # The old connection is dead (or dies on first use); the
+                # client must reconnect to the reborn server and answer.
+                reply = client.query(CROSSING_QUERY)
+            finally:
+                restarter.join(timeout=30.0)
+            assert reply.rows == expected
+            assert client.reconnects >= 1
+
+    def test_retries_exhausted_raises_typed_error(self, run_server):
+        handle = run_server()
+        host, port = handle.address
+        sleeps: list[float] = []
+        client = ServeClient(
+            host,
+            port,
+            failover=FailoverPolicy(max_retries=2, backoff=0.01, jitter=0.0),
+            sleep=sleeps.append,
+        )
+        assert client.ping()["pong"] is True
+        handle.force_stop()  # nobody restarts it
+        with pytest.raises(ConnectionLostError) as info:
+            client.query(RISING_QUERY)
+        assert info.value.attempts == 2
+        assert info.value.code == "connection_lost"
+        # Both reconnect attempts slept the un-jittered schedule.
+        assert sleeps == [pytest.approx(0.01), pytest.approx(0.02)]
+
+    def test_failover_disabled_raises_the_raw_error(self, run_server):
+        handle = run_server()
+        host, port = handle.address
+        client = ServeClient(host, port, failover=None)
+        assert client.ping()["pong"] is True  # fully established server-side
+        handle.force_stop()
+        with pytest.raises(ConnectionError) as info:
+            client.query(RISING_QUERY)
+        assert not isinstance(info.value, ConnectionLostError)
+
+
+class TestRequestDedup:
+    def test_send_crash_after_execution_is_deduplicated(self, catalog):
+        """The razor's edge: the server executed the query but the
+        connection died on the response send.  The client's retry must
+        NOT re-run the query — it replays from the request ledger."""
+        from repro.pattern.predicates import AttributeDomains
+        from repro.serve import QueryServer, ServerThread
+
+        executions = []
+
+        def count(op, tenant, sql):
+            if op == "query":
+                executions.append(sql)
+
+        # Arm before construction so the server binds failpoint metrics.
+        failpoints.activate_spec(
+            "serve.send_frame=raise:ConnectionResetError*1"
+        )
+        server = QueryServer(
+            catalog,
+            domains=AttributeDomains.prices(),
+            fault_injector=count,
+        )
+        with ServerThread(server) as handle:
+            with ServeClient(*handle.address, failover=PATIENT) as client:
+                reply = client.query(CROSSING_QUERY)
+                assert reply.rows  # the answer still arrived
+                assert reply.deduplicated is True
+                assert client.reconnects == 1
+                assert len(executions) == 1  # executed exactly once
+
+                stats = client.stats()
+                assert stats["request_dedup"]["hits"] == 1
+                assert stats["request_dedup"]["entries"] == 1
+                metrics = client.metrics()
+        assert 'repro_serve_request_dedup_total{tenant="default"} 1' in metrics
+        assert "repro_failpoint_fires_total" in metrics
+
+    def test_distinct_requests_are_never_deduplicated(self, run_server):
+        handle = run_server()
+        with ServeClient(*handle.address) as client:
+            first = client.query(CROSSING_QUERY)
+            second = client.query(CROSSING_QUERY)
+        assert first.deduplicated is False
+        assert second.deduplicated is False
+        assert first.rows == second.rows
+
+
+class TestSubscriptionResume:
+    def test_iterator_survives_forced_restart_exactly_once(
+        self, catalog, run_server, tmp_path
+    ):
+        checkpoint_dir = str(tmp_path / "ckpt")
+
+        def start(port=0):
+            return run_server(
+                checkpoint_dir=checkpoint_dir,
+                subscription_checkpoint_every=1,
+                port=port,
+            )
+
+        handle = start()
+        host, port = handle.address
+        with ServeClient(host, port) as reference:
+            expected = [
+                (row.seq, row.values)
+                for row in reference.subscribe(RISING_QUERY, "reference")
+            ]
+        assert len(expected) >= 4
+
+        delivered: list = []
+        client = ServeClient(host, port, failover=PATIENT)
+        try:
+            rows = client.subscribe(RISING_QUERY, "durable")
+            for row in rows:
+                delivered.append((row.seq, row.values))
+                if len(delivered) == 2:
+                    # Crash the server mid-stream and resurrect it on the
+                    # same port; the iterator must keep going on its own.
+                    handle.force_stop()
+                    start(port=port)
+        finally:
+            client.close()
+
+        seqs = [seq for seq, _ in delivered]
+        assert len(seqs) == len(set(seqs)), "duplicate delivery"
+        assert delivered == expected
+        assert client.reconnects >= 1
+
+    def test_resume_exhaustion_carries_last_acked_seq(self, run_server, tmp_path):
+        handle = run_server(
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            subscription_checkpoint_every=1,
+        )
+        sleeps: list[float] = []
+        client = ServeClient(
+            *handle.address,
+            failover=FailoverPolicy(max_retries=2, backoff=0.01, jitter=0.0),
+            sleep=sleeps.append,
+        )
+        delivered = []
+        with pytest.raises(ConnectionLostError) as info:
+            for row in client.subscribe(CROSSING_QUERY, "doomed"):
+                delivered.append(row)
+                handle.force_stop()  # dies after the first row, forever
+        assert delivered
+        assert info.value.last_seq == delivered[-1].seq
+        assert info.value.attempts == 2
+
+    def test_disabled_failover_still_raises_typed_error_mid_stream(
+        self, run_server, tmp_path
+    ):
+        """Satellite bug fix: a raw socket error must never escape a
+        subscription iterator — even with failover off, the caller gets
+        ConnectionLostError with the resume mark."""
+        handle = run_server(
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            subscription_checkpoint_every=1,
+        )
+        client = ServeClient(*handle.address, failover=None)
+        delivered = []
+        with pytest.raises(ConnectionLostError) as info:
+            for row in client.subscribe(CROSSING_QUERY, "doomed"):
+                delivered.append(row)
+                handle.force_stop()
+        assert info.value.last_seq == delivered[-1].seq
+
+
+class TestFrameDropFailpoint:
+    def test_nth_frame_drop_is_survived_by_subscriber(self, catalog, tmp_path):
+        """serve.send_frame@N cuts the stream at a chosen frame; the
+        subscriber's failover resumes with no duplicates and no gaps."""
+        from repro.pattern.predicates import AttributeDomains
+        from repro.serve import QueryServer, ServerThread
+
+        server = QueryServer(
+            catalog,
+            domains=AttributeDomains.prices(),
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            subscription_checkpoint_every=1,
+        )
+        with ServerThread(server) as handle:
+            with ServeClient(*handle.address) as reference:
+                expected = [
+                    (row.seq, row.values)
+                    for row in reference.subscribe(CROSSING_QUERY, "reference")
+                ]
+            # Drop the 3rd frame from now on (begin + row + row), once.
+            failpoints.activate_spec("serve.send_frame=raise:BrokenPipeError@3*1")
+            with ServeClient(*handle.address, failover=PATIENT) as client:
+                delivered = [
+                    (row.seq, row.values)
+                    for row in client.subscribe(CROSSING_QUERY, "durable")
+                ]
+                assert client.reconnects >= 1
+        assert delivered == expected
