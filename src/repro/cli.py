@@ -36,7 +36,8 @@ from typing import Optional, Sequence
 
 from repro.bench.harness import NAMED_MATCHERS
 from repro.engine.catalog import Catalog
-from repro.engine.csv_io import _render, iter_csv, load_csv
+from repro.engine.columnar import load_table
+from repro.engine.csv_io import _render, iter_csv
 from repro.engine.executor import Executor
 from repro.engine.table import Schema
 from repro.errors import ExecutionError, ReproError
@@ -141,8 +142,11 @@ def _build_catalog(
         catalog.register(quote_table())
     policy = getattr(args, "on_error", "raise")
     for name, path, schema in args.table:
+        # load_table serves .rcol columnar files (and CSV sidecars)
+        # out-of-core via mmap; a rejected sidecar falls back to plain
+        # CSV ingest with a diagnostic, never an error.
         catalog.register(
-            load_csv(path, name, schema, policy=policy, diagnostics=diagnostics)
+            load_table(path, name, schema, policy=policy, diagnostics=diagnostics)
         )
     return catalog
 
@@ -211,6 +215,7 @@ def _command_query(args: argparse.Namespace, out) -> int:
         limits=_limits_from_args(args),
         workers=args.workers,
         parallel_mode=args.parallel_mode,
+        evaluator=args.evaluator,
     )
     instrumentation = Instrumentation()
     trace = Trace() if args.profile else None
@@ -472,6 +477,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker pool flavor for --workers > 1: process pools suit "
         "compiled CPU-bound work, threads suit small inputs "
         "(default: auto)",
+    )
+    query.add_argument(
+        "--evaluator",
+        choices=["auto", "columnar", "row"],
+        default="auto",
+        help="predicate path: columnar materializes vectorized truth "
+        "arrays per cluster, row keeps the per-row closures; auto "
+        "(default) goes columnar when NumPy is available — matches are "
+        "byte-identical in every mode (see docs/performance.md)",
     )
     query.add_argument(
         "--diagnostics-json",

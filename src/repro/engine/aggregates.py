@@ -150,11 +150,17 @@ class PatternSearchAggregate(UserDefinedAggregate):
         matcher: Matcher,
         instrumentation: Optional[Instrumentation] = None,
         budget: Optional[Budget] = None,
+        kernels=None,
     ):
         self._pattern = pattern
         self._matcher = matcher
         self._instrumentation = instrumentation
         self._budget = budget
+        # Columnar truth arrays materialized from the cluster this
+        # aggregate is about to buffer (see repro.engine.columnar); only
+        # valid because the executor feeds the identical rows through
+        # iterate().
+        self._kernels = kernels
         self._buffer: list[Mapping[str, object]] = []
 
     def initialize(self) -> None:
@@ -165,6 +171,11 @@ class PatternSearchAggregate(UserDefinedAggregate):
         return ()
 
     def terminate(self) -> Iterable[Match]:
+        if self._kernels is not None:
+            return self._matcher.find_matches(
+                self._buffer, self._pattern, self._instrumentation,
+                budget=self._budget, kernels=self._kernels,
+            )
         if self._budget is None:
             # Positional call keeps compatibility with third-party
             # matchers written against the pre-budget interface.

@@ -71,6 +71,14 @@ _RESTART_MATCHERS = ("naive", "backtracking")
 #: :mod:`repro.engine.parallel`).
 PARALLEL_MODES = ("auto", "process", "thread")
 
+#: Predicate evaluation modes accepted by ``evaluator``: ``"row"`` pins
+#: the per-row closures (the differential oracle for the columnar path),
+#: ``"columnar"`` always materializes truth arrays for the lowered
+#: elements, and ``"auto"`` does so only when the NumPy batch backend is
+#: active (the pure-Python batch backend can cost more than the sparse
+#: row path it replaces).  Matches are byte-identical in every mode.
+EVALUATOR_MODES = ("auto", "columnar", "row")
+
 
 @dataclass
 class _CachedPlan:
@@ -126,6 +134,7 @@ class Executor:
         workers: int = 1,
         parallel_mode: str = "auto",
         metrics: Optional[MetricsRegistry] = None,
+        evaluator: str = "auto",
     ):
         self._catalog = catalog
         self._domains = domains if domains is not None else AttributeDomains.none()
@@ -177,6 +186,12 @@ class Executor:
             )
         self._workers = workers
         self._parallel_mode = parallel_mode
+        if evaluator not in EVALUATOR_MODES:
+            raise ExecutionError(
+                f"evaluator must be one of {EVALUATOR_MODES}, "
+                f"got {evaluator!r}"
+            )
+        self._evaluator = evaluator
 
     @property
     def plan_cache_hits(self) -> int:
@@ -365,7 +380,7 @@ class Executor:
                     with trace.span("cluster") as cluster_span:
                         matches, matcher_name, matcher = self._search_cluster(
                             rows, compiled, matcher_name, matcher,
-                            instrumentation, budget, diagnostics,
+                            instrumentation, budget, diagnostics, trace=trace,
                         )
                     cluster_span.annotate(
                         partition=_cluster_label(key),
@@ -576,6 +591,7 @@ class Executor:
         instrumentation: Instrumentation,
         budget: Optional[Budget],
         diagnostics: Diagnostics,
+        trace: Optional[Trace] = None,
     ) -> tuple[list[Match], str, Matcher]:
         """Run one cluster, downgrading the matcher on PlanningError.
 
@@ -585,6 +601,7 @@ class Executor:
         return search_rows(
             rows, compiled, matcher_name, matcher, instrumentation,
             budget, diagnostics, self._policy, self._fallback,
+            evaluator=self._evaluator, trace=trace,
         )
 
 
@@ -794,6 +811,9 @@ def search_rows(
     diagnostics: Diagnostics,
     policy: ErrorPolicy,
     fallback: Optional[str],
+    *,
+    evaluator: str = "row",
+    trace: Optional[Trace] = None,
 ) -> tuple[list[Match], str, Matcher]:
     """Search one cluster's rows, degrading the matcher on PlanningError.
 
@@ -802,8 +822,16 @@ def search_rows(
     (:mod:`repro.engine.parallel`) call this, so the two paths cannot
     drift apart.  Returns the (possibly replaced by ``fallback``)
     matcher so callers carry the downgrade forward across clusters.
+
+    ``evaluator`` selects the predicate path per :data:`EVALUATOR_MODES`;
+    anything but ``"row"`` may materialize columnar truth arrays for
+    this cluster and hand them to a kernel-aware matcher.  The default
+    is ``"row"`` so existing callers keep the seed behaviour.
     """
-    aggregate = PatternSearchAggregate(compiled, matcher, instrumentation, budget)
+    kernels = _cluster_kernels(rows, compiled, matcher, evaluator, trace)
+    aggregate = PatternSearchAggregate(
+        compiled, matcher, instrumentation, budget, kernels=kernels
+    )
     try:
         return apply_aggregate(aggregate, rows), matcher_name, matcher
     except PlanningError as error:
@@ -814,10 +842,56 @@ def search_rows(
             f"matcher {matcher_name!r} cannot execute this pattern "
             f"({error}); falling back to {fallback!r}"
         )
+        if kernels is None:
+            kernels = _cluster_kernels(
+                rows, compiled, replacement, evaluator, trace
+            )
         aggregate = PatternSearchAggregate(
-            compiled, replacement, instrumentation, budget
+            compiled, replacement, instrumentation, budget, kernels=kernels
         )
         return apply_aggregate(aggregate, rows), fallback, replacement
+
+
+def _cluster_kernels(
+    rows: list[dict[str, object]],
+    compiled: CompiledPattern,
+    matcher: Matcher,
+    evaluator: str,
+    trace: Optional[Trace],
+):
+    """Materialize columnar truth arrays for one cluster, or None.
+
+    Engagement policy (see :data:`EVALUATOR_MODES`): never for
+    ``"row"``; for ``"auto"`` only when the NumPy batch backend is
+    active; ``"columnar"`` always attempts.  The matcher must opt in via
+    ``supports_kernels`` and the plan must have compiled closures —
+    ``use_codegen=False`` is the interpreted differential oracle and
+    stays kernel-free end to end.
+    """
+    if evaluator == "row" or not rows:
+        return None
+    if not compiled.use_codegen:
+        return None
+    if not getattr(matcher, "supports_kernels", False):
+        return None
+    from repro.engine.columnar import materialize_kernels, vector_backend_active
+
+    if evaluator == "auto" and not vector_backend_active():
+        return None
+    if trace is None:
+        return materialize_kernels(compiled, rows)
+    with trace.span("kernels") as span:
+        kernels = materialize_kernels(compiled, rows)
+        if kernels is None:
+            span.annotate(lowered=0, rows=len(rows))
+        else:
+            span.annotate(
+                lowered=kernels.lowered,
+                elements=compiled.m,
+                backend=kernels.backend,
+                rows=len(rows),
+            )
+    return kernels
 
 
 def _cluster_passes(analyzed: AnalyzedQuery, rows: list[dict[str, object]]) -> bool:
@@ -860,6 +934,7 @@ def execute(
     codegen: bool = True,
     workers: int = 1,
     parallel_mode: str = "auto",
+    evaluator: str = "auto",
 ) -> Result:
     """One-shot convenience wrapper around :class:`Executor`."""
     return Executor(
@@ -872,4 +947,5 @@ def execute(
         codegen=codegen,
         workers=workers,
         parallel_mode=parallel_mode,
+        evaluator=evaluator,
     ).execute(query, instrumentation)

@@ -115,6 +115,7 @@ def split_partitions(
     partitions: Sequence,
     workers: int,
     unit_size: Optional[int] = None,
+    weights: Optional[Sequence[int]] = None,
 ) -> list[WorkUnit]:
     """Chunk ``partitions`` into consecutive, order-preserving work units.
 
@@ -124,6 +125,14 @@ def split_partitions(
     ``unit_size`` defaults to an oversubscription of
     ``workers * UNIT_OVERSUBSCRIPTION`` units so skewed partitions
     rebalance across the pool.
+
+    ``weights`` (one non-negative int per partition, e.g. the columnar
+    first-element candidate counts) switches to weighted chunking: units
+    stay consecutive and order-preserving, but each unit closes once its
+    accumulated weight reaches ``total_weight / (workers *
+    UNIT_OVERSUBSCRIPTION)``, so a partition with many candidate
+    positions does not drag a unit's worth of cheap siblings behind it.
+    Mutually exclusive with ``unit_size``.
     """
     if workers < 1:
         raise ExecutionError(f"workers must be positive, got {workers}")
@@ -132,9 +141,32 @@ def split_partitions(
     total = len(partitions)
     if total == 0:
         return []
+    if weights is not None:
+        if unit_size is not None:
+            raise ExecutionError("unit_size and weights are mutually exclusive")
+        if len(weights) != total:
+            raise ExecutionError(
+                f"weights must match partitions: {len(weights)} != {total}"
+            )
+        if any(weight < 0 for weight in weights):
+            raise ExecutionError("weights must be non-negative")
+        target = sum(weights) / (workers * UNIT_OVERSUBSCRIPTION)
+        units = []
+        current: list = []
+        accumulated = 0
+        for partition, weight in zip(partitions, weights):
+            current.append(partition)
+            accumulated += weight
+            if accumulated >= target:
+                units.append(WorkUnit(len(units), tuple(current)))
+                current = []
+                accumulated = 0
+        if current:
+            units.append(WorkUnit(len(units), tuple(current)))
+        return units
     if unit_size is None:
         unit_size = max(1, -(-total // (workers * UNIT_OVERSUBSCRIPTION)))
-    units: list[WorkUnit] = []
+    units = []
     for start in range(0, total, unit_size):
         units.append(
             WorkUnit(len(units), tuple(partitions[start : start + unit_size]))
@@ -192,6 +224,10 @@ class _WorkerPlan:
     # serialized span dicts (durations only — perf_counter origins do
     # not align across processes) for the parent to graft into its Trace.
     record_spans: bool = False
+    # Predicate evaluation mode (see executor.EVALUATOR_MODES): workers
+    # apply the same per-cluster kernel engagement policy as the serial
+    # loop, so matches stay byte-identical across worker counts.
+    evaluator: str = "row"
 
 
 def _run_unit(
@@ -250,6 +286,7 @@ def _run_unit(
                 diagnostics,
                 plan.policy,
                 plan.fallback,
+                evaluator=plan.evaluator,
             )
             projected = [_project(plan.analyzed, rows, match) for match in matches]
         except Exception as exc:
@@ -330,6 +367,7 @@ def _plan_from_payload(payload: dict) -> _WorkerPlan:
         fallback=payload["fallback"],
         record_trace=payload["record_trace"],
         record_spans=payload.get("record_spans", False),
+        evaluator=payload.get("evaluator", "row"),
     )
 
 
@@ -385,6 +423,39 @@ def _rebuild_error(class_name: str, message: str) -> BaseException:
 # ----------------------------------------------------------------------
 # Parent side
 # ----------------------------------------------------------------------
+
+
+def _partition_weights(executor, compiled, admitted) -> Optional[list[int]]:
+    """Columnar candidate counts per partition, or None for row counts.
+
+    When the columnar path is engaged, the cost of a partition tracks how
+    many positions survive its first lowered kernel, not its raw length —
+    the splitter weights units by that signal so one candidate-dense
+    stock does not straggle a unit of candidate-free siblings.  Weighting
+    only reshapes unit *boundaries*; the merge stays partition-ordered,
+    so outputs are unchanged.  None (row-count splitting) whenever the
+    columnar path is off or any partition declines to materialize.
+    """
+    if len(admitted) <= 1 or executor._evaluator == "row":
+        return None
+    if not compiled.use_codegen:
+        return None
+    from repro.engine.columnar import (
+        first_element_candidates,
+        vector_backend_active,
+    )
+
+    if executor._evaluator == "auto" and not vector_backend_active():
+        return None
+    weights = []
+    for partition in admitted:
+        candidates = first_element_candidates(compiled, partition.rows)
+        if candidates is None:
+            return None
+        # +1 keeps empty-candidate partitions from weighing nothing: the
+        # worker still pays per-partition dispatch and kernel build.
+        weights.append(candidates + 1)
+    return weights
 
 
 def _resolve_mode(mode: str, query: Union[str, ast.Query]) -> str:
@@ -664,8 +735,11 @@ def _parallel_pass(
         fallback=executor._fallback,
         record_trace=instrumentation.trace is not None,
         record_spans=trace is not None,
+        evaluator=executor._evaluator,
     )
-    units = split_partitions(admitted, workers)
+    units = split_partitions(
+        admitted, workers, weights=_partition_weights(executor, compiled, admitted)
+    )
     max_matches = limits.max_matches
     resolved_mode = _resolve_mode(mode, query)
     pool_span = None
@@ -699,6 +773,7 @@ def _parallel_pass(
                     "policy": executor._policy.value,
                     "record_trace": plan.record_trace,
                     "record_spans": plan.record_spans,
+                    "evaluator": plan.evaluator,
                 }
             outcome_by_unit = _run_units_pooled(
                 plan,

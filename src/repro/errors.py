@@ -59,6 +59,15 @@ class LimitExceeded(ReproError):
         self.reason = reason if reason is not None else message
 
 
+class ColumnarFormatError(SchemaError):
+    """A columnar file failed validation (magic, version, truncation,
+    blob extents, or checksum) — or a table cannot be encoded into the
+    format.  Loaders treat it as "this cache is unusable": the engine
+    falls back to CSV ingest with a diagnostic rather than trusting a
+    torn or partial file (see :mod:`repro.engine.columnar`).
+    """
+
+
 class StreamStateError(ReproError, RuntimeError):
     """Raised for misuse of a streaming matcher's lifecycle.
 

@@ -75,6 +75,9 @@ KNOWN_SITES: Tuple[str, ...] = (
     "recovery.restore",        # checkpoint load during runner restore
     "serve.send_frame",        # every server->client NDJSON frame
     "parallel.worker_start",   # entry of each parallel work unit
+    "columnar.write",          # columnar file payload (torn-able)
+    "columnar.fsync",          # columnar file fsync before rename (skippable)
+    "columnar.rename",         # between columnar tmp write and final rename
 )
 
 #: Exception names accepted by ``raise:<Name>`` specs.  Restricted to a

@@ -38,21 +38,34 @@ from repro.resilience import Budget
 class BacktrackingMatcher:
     """Depth-first search over star-run boundaries, maximal-first."""
 
+    #: Accepts per-cluster truth arrays (see :mod:`repro.engine.columnar`).
+    supports_kernels = True
+
     def find_matches(
         self,
         rows: Sequence[Mapping[str, object]],
         pattern: CompiledPattern,
         instrumentation: Optional[Instrumentation] = None,
         budget: Optional[Budget] = None,
+        kernels=None,
     ) -> list[Match]:
         matches: list[Match] = []
         n = len(rows)
+        # Elements with a truth array swap in a positional lookup for
+        # their evaluator; every test still flows through test_element,
+        # so instrumentation and budget accounting are untouched.
+        evaluators = pattern.evaluators
+        if kernels is not None:
+            evaluators = tuple(
+                _truth_evaluator(truth) if truth is not None else evaluator
+                for truth, evaluator in zip(kernels.truth, evaluators)
+            )
         start = 0
         while start < n:
             if budget is not None and budget.step():
                 break
             spans = self._search(
-                rows, pattern, 1, start, {}, instrumentation, budget
+                rows, pattern, evaluators, 1, start, {}, instrumentation, budget
             )
             if spans is None:
                 start += 1
@@ -68,6 +81,7 @@ class BacktrackingMatcher:
         self,
         rows: Sequence[Mapping[str, object]],
         pattern: CompiledPattern,
+        evaluators,
         j: int,
         i: int,
         bindings: dict[str, tuple[int, int]],
@@ -82,7 +96,7 @@ class BacktrackingMatcher:
         if j > pattern.m:
             return []
         element = pattern.spec.elements[j - 1]
-        evaluator = pattern.evaluators[j - 1]
+        evaluator = evaluators[j - 1]
         n = len(rows)
         if i >= n:
             return None
@@ -94,7 +108,8 @@ class BacktrackingMatcher:
             extended = dict(bindings)
             extended[element.name] = (i, i)
             rest = self._search(
-                rows, pattern, j + 1, i + 1, extended, instrumentation, budget
+                rows, pattern, evaluators, j + 1, i + 1, extended,
+                instrumentation, budget
             )
             return None if rest is None else [Span(i, i), *rest]
         # Starred: discover the maximal satisfying run, then try every
@@ -108,10 +123,20 @@ class BacktrackingMatcher:
             extended = dict(bindings)
             extended[element.name] = (i, last)
             rest = self._search(
-                rows, pattern, j + 1, last + 1, extended, instrumentation, budget
+                rows, pattern, evaluators, j + 1, last + 1, extended,
+                instrumentation, budget
             )
             if rest is not None:
                 return [Span(i, last), *rest]
             if budget is not None and budget.tripped is not None:
                 return None
         return None
+
+
+def _truth_evaluator(truth: bytes):
+    """An evaluator-shaped view of one element's truth array."""
+
+    def evaluate(rows, index, bindings):
+        return bool(truth[index])
+
+    return evaluate

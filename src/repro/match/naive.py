@@ -32,6 +32,9 @@ class NaiveMatcher:
     reproduces the paper's left-maximal non-overlapping semantics.
     """
 
+    #: Accepts per-cluster truth arrays (see :mod:`repro.engine.columnar`).
+    supports_kernels = True
+
     def __init__(self, overlapping: bool = False):
         self._overlapping = overlapping
 
@@ -41,14 +44,35 @@ class NaiveMatcher:
         pattern: CompiledPattern,
         instrumentation: Optional[Instrumentation] = None,
         budget: Optional[Budget] = None,
+        kernels=None,
     ) -> list[Match]:
         matches: list[Match] = []
         n = len(rows)
+        truths = kernels.truth if kernels is not None else None
+        fast = instrumentation is None and budget is None
+        if fast and truths is not None and kernels.lowered == len(truths):
+            # Every element lowered: the scan never needs a row, a
+            # binding, or an evaluator — run it entirely on the truth
+            # arrays and the candidate-start bitset.
+            return self._find_matches_columnar(pattern, kernels, n)
+        # A zero truth byte for the first element proves no attempt can
+        # start there, so the uninstrumented scan jumps straight to the
+        # next candidate start with one C-level find.  Instrumented or
+        # budgeted scans take the stepwise path: each rejected start
+        # must be charged exactly as the row path charges it.
+        first_truth = truths[0] if truths is not None else None
         start = 0
         while start < n:
             if budget is not None and budget.step():
                 break
-            match = self._attempt(rows, pattern, start, instrumentation, budget)
+            if fast and first_truth is not None and not first_truth[start]:
+                next_start = first_truth.find(1, start + 1)
+                if next_start < 0:
+                    break
+                start = next_start
+            match = self._attempt(
+                rows, pattern, start, instrumentation, budget, truths
+            )
             if match is None:
                 start += 1
             else:
@@ -58,6 +82,56 @@ class NaiveMatcher:
                     break
         return matches
 
+    def _find_matches_columnar(
+        self, pattern: CompiledPattern, kernels, n: int
+    ) -> list[Match]:
+        """Uninstrumented scan over fully-lowered truth arrays.
+
+        Byte-identical to the stepwise scan: the candidate bitset only
+        skips starts whose attempt provably fails inside the pattern's
+        leading prefix, and each surviving attempt replays the exact
+        greedy/maximal-run semantics of :meth:`_attempt` on truth bytes.
+        Failed attempts allocate nothing.
+        """
+        spec = pattern.spec
+        stars = tuple(element.star for element in spec)
+        steps = tuple(zip(kernels.truth, stars))
+        candidates = kernels.start_candidates(stars)
+        names = spec.names
+        overlapping = self._overlapping
+        matches: list[Match] = []
+        start = 0
+        while start < n:
+            if not candidates[start]:
+                start = candidates.find(1, start + 1)
+                if start < 0:
+                    break
+            i = start
+            bounds = []
+            for truth, star in steps:
+                if i >= n or not truth[i]:
+                    bounds = None
+                    break
+                first = i
+                i += 1
+                if star:
+                    stop = truth.find(0, i)
+                    i = n if stop < 0 else stop
+                bounds.append((first, i - 1))
+            if bounds is None:
+                start += 1
+            else:
+                matches.append(
+                    Match(
+                        start,
+                        i - 1,
+                        tuple(Span(a, b) for a, b in bounds),
+                        names,
+                    )
+                )
+                start = start + 1 if overlapping else i
+        return matches
+
     def _attempt(
         self,
         rows: Sequence[Mapping[str, object]],
@@ -65,6 +139,7 @@ class NaiveMatcher:
         start: int,
         instrumentation: Optional[Instrumentation],
         budget: Optional[Budget] = None,
+        truths=None,
     ) -> Optional[Match]:
         n = len(rows)
         i = start
@@ -74,12 +149,18 @@ class NaiveMatcher:
         record = instrumentation.record if instrumentation is not None else None
         for j, element in enumerate(pattern.spec, start=1):
             evaluator = evaluators[j - 1]
+            truth = truths[j - 1] if truths is not None else None
             if i >= n:
                 return None
-            # Inlined test_element: record, then compiled or interpreted.
+            # Inlined test_element: record, then truth-array lookup,
+            # compiled closure, or interpreted — in that order.  The
+            # truth byte equals what the evaluator would return at this
+            # position, so control flow is unchanged.
             if record is not None:
                 record(i, j)
-            if evaluator is not None:
+            if truth is not None:
+                satisfied = truth[i]
+            elif evaluator is not None:
                 satisfied = evaluator(rows, i, bindings)
             else:
                 satisfied = element.predicate.test(EvalContext(rows, i, bindings))
@@ -91,7 +172,13 @@ class NaiveMatcher:
                 # Greedy: extend the run while tuples keep satisfying the
                 # predicate.  The failing test is charged here; the tuple
                 # that ends the run is re-tested by the next element.
-                if record is None and budget is None and evaluator is not None:
+                if record is None and budget is None and truth is not None:
+                    # Vectorized run scan: the run ends at the first zero
+                    # truth byte (or end of input) — identical to
+                    # stepping, minus the per-tuple dispatch.
+                    stop = truth.find(0, i)
+                    i = n if stop < 0 else stop
+                elif record is None and budget is None and evaluator is not None:
                     # Specialized uninstrumented compiled run — the
                     # tightest loop the fast path allows.
                     while i < n and evaluator(rows, i, bindings):
@@ -100,7 +187,9 @@ class NaiveMatcher:
                     while i < n:
                         if record is not None:
                             record(i, j)
-                        if evaluator is not None:
+                        if truth is not None:
+                            satisfied = truth[i]
+                        elif evaluator is not None:
                             satisfied = evaluator(rows, i, bindings)
                         else:
                             satisfied = element.predicate.test(

@@ -35,12 +35,16 @@ from repro.resilience import Budget
 class OpsMatcher:
     """Optimized Pattern Search, star-free form (paper Section 4.2.1)."""
 
+    #: Accepts per-cluster truth arrays (see :mod:`repro.engine.columnar`).
+    supports_kernels = True
+
     def find_matches(
         self,
         rows: Sequence[Mapping[str, object]],
         pattern: CompiledPattern,
         instrumentation: Optional[Instrumentation] = None,
         budget: Optional[Budget] = None,
+        kernels=None,
     ) -> list[Match]:
         if pattern.has_star:
             raise PlanningError("OpsMatcher handles star-free patterns only")
@@ -59,22 +63,31 @@ class OpsMatcher:
         record_skip = (
             instrumentation.record_skip if instrumentation is not None else None
         )
+        truths = kernels.truth if kernels is not None else None
         i = 1
         j = 1
         while j <= m and i <= n:
             if budget is not None and budget.step():
                 break
             while j > 0:
-                # Inlined test_element: record, then compiled or interpreted.
+                # Inlined test_element: record, then truth-array lookup,
+                # compiled closure, or interpreted — in that order.  The
+                # truth byte equals the evaluator's verdict at (i-1, j),
+                # so the shift/next control flow is untouched (and the
+                # per-test bindings dict is never needed on that path).
                 if record is not None:
                     record(i - 1, j)
-                evaluator = evaluators[j - 1]
-                if evaluator is not None:
-                    satisfied = evaluator(rows, i - 1, _bindings(names, i, j))
+                truth = truths[j - 1] if truths is not None else None
+                if truth is not None:
+                    satisfied = truth[i - 1]
                 else:
-                    satisfied = predicates[j - 1].test(
-                        EvalContext(rows, i - 1, _bindings(names, i, j))
-                    )
+                    evaluator = evaluators[j - 1]
+                    if evaluator is not None:
+                        satisfied = evaluator(rows, i - 1, _bindings(names, i, j))
+                    else:
+                        satisfied = predicates[j - 1].test(
+                            EvalContext(rows, i - 1, _bindings(names, i, j))
+                        )
                 if satisfied:
                     break
                 if record_skip is not None:

@@ -50,14 +50,18 @@ from repro.resilience import Budget
 class OpsStarMatcher:
     """Optimized Pattern Search with the Section 5 count bookkeeping."""
 
+    #: Accepts per-cluster truth arrays (see :mod:`repro.engine.columnar`).
+    supports_kernels = True
+
     def find_matches(
         self,
         rows: Sequence[Mapping[str, object]],
         pattern: CompiledPattern,
         instrumentation: Optional[Instrumentation] = None,
         budget: Optional[Budget] = None,
+        kernels=None,
     ) -> list[Match]:
-        runtime = _Run(rows, pattern, instrumentation, budget)
+        runtime = _Run(rows, pattern, instrumentation, budget, kernels=kernels)
         return runtime.scan()
 
 
@@ -70,6 +74,7 @@ class _Run:
         pattern: CompiledPattern,
         instrumentation: Optional[Instrumentation],
         budget: Optional[Budget] = None,
+        kernels=None,
     ):
         self.rows = rows
         self.pattern = pattern
@@ -80,6 +85,19 @@ class _Run:
         self.budget = budget
         self.elements = pattern.spec.elements
         self.evaluators = pattern.evaluators
+        # Per-element truth arrays from the columnar backend; entry
+        # ``j - 1`` replaces the evaluator call when present (see
+        # :mod:`repro.engine.columnar`).
+        self.truths = kernels.truth if kernels is not None else None
+        # Candidate attempt-start bitset (prefix conjunction of truth
+        # arrays); a zero byte proves a fresh attempt at that position
+        # dies inside the leading prefix, so the uninstrumented scan may
+        # hop straight to the next one byte.
+        self.start_candidates = (
+            kernels.start_candidates(tuple(e.star for e in self.elements))
+            if kernels is not None
+            else None
+        )
         self.names = pattern.spec.names
         self.shift = pattern.shift_next.shift
         self.next_ = pattern.shift_next.next_
@@ -159,6 +177,14 @@ class _Run:
         evaluators = self.evaluators
         record = self.record
         budget = self.budget
+        truths = self.truths
+        # Star runs may be advanced with one C-level find only when no
+        # observer counts the per-tuple tests: instrumentation and
+        # budgets charge each consumed tuple, and a streaming scan
+        # (finished=False) must suspend tuple-by-tuple at the window
+        # edge.
+        fast_star = record is None and budget is None and finished
+        candidates = self.start_candidates if fast_star else None
         m = self.m
         available = len(rows)
         while True:
@@ -170,6 +196,22 @@ class _Run:
                 continue
             element = elements[j - 1]
             i = self.i
+            if (
+                candidates is not None
+                and j == 1
+                and self.current_consumed == 0
+                and i < available
+                and not candidates[i]
+            ):
+                # A fresh attempt here fails inside the prefix; a fail
+                # at element 1 restarts one position later (shift(1)=1),
+                # so hopping to the next candidate start replays exactly
+                # that restart chain, minus the per-position dispatch.
+                next_start = candidates.find(1, i + 1)
+                self._reset_attempt(
+                    available if next_start < 0 else next_start
+                )
+                continue
             if i >= available or (not finished and i + lookahead >= available):
                 if finished and i >= available:
                     # End of input: only a pending final star run can
@@ -182,18 +224,33 @@ class _Run:
                         self._complete_element()
                         self._record_match()
                 return
-            # Inlined test_element: record, then dispatch to the compiled
-            # evaluator (fast path) or the interpreted predicate.
+            # Inlined test_element: record, then dispatch to the truth
+            # array (columnar), the compiled evaluator, or the
+            # interpreted predicate.
             if record is not None:
                 record(i, j)
-            evaluator = evaluators[j - 1]
-            if evaluator is not None:
-                satisfied = evaluator(rows, i, self.bindings)
+            truth = truths[j - 1] if truths is not None else None
+            if truth is not None:
+                satisfied = truth[i]
             else:
-                satisfied = element.predicate.test(
-                    EvalContext(rows, i, self.bindings)
-                )
+                evaluator = evaluators[j - 1]
+                if evaluator is not None:
+                    satisfied = evaluator(rows, i, self.bindings)
+                else:
+                    satisfied = element.predicate.test(
+                        EvalContext(rows, i, self.bindings)
+                    )
             if satisfied:
+                if element.star and fast_star and truth is not None:
+                    # Consume the whole remaining run at once: it ends
+                    # at the first zero truth byte (or end of input),
+                    # exactly where tuple-by-tuple stepping would stop.
+                    stop = truth.find(0, i + 1)
+                    if stop < 0 or stop > available:
+                        stop = available
+                    self.i = stop
+                    self.current_consumed += stop - i
+                    continue
                 self.i = i + 1
                 self.current_consumed += 1
                 if not element.star:

@@ -67,6 +67,24 @@ _OP_FUNCS = {
 }
 
 
+def lower_predicate_batch(predicate: ElementPredicate):
+    """Lower an element predicate to a batch-kernel program, or None.
+
+    The columnar counterpart of :func:`lower_predicate`: instead of a
+    per-(tuple, element) closure, the result is a data-only
+    :class:`~repro.pattern.kernels.ElementKernel` the columnar backend
+    (:mod:`repro.engine.columnar`) evaluates over whole column slices,
+    emitting a per-position truth array.  Coverage is the closure
+    coverage minus residuals — a residual reads per-attempt bindings and
+    can never be evaluated positionally — and fallback stays per-element:
+    ``None`` here simply means the matchers keep calling the closure (or
+    the interpreted predicate) for this element.
+    """
+    from repro.pattern.kernels import plan_element
+
+    return plan_element(predicate)
+
+
 def lower_predicate(predicate: ElementPredicate) -> Optional[CompiledEvaluator]:
     """Lower a full element predicate, or None when it must fall back."""
     conditions = predicate.conditions

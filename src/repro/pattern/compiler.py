@@ -64,6 +64,26 @@ class CompiledPattern:
 
         return tuple(lower_predicate(e.predicate) for e in self.spec)
 
+    @cached_property
+    def kernel_plan(self):
+        """Per-element batch-kernel programs, lazily lowered and cached.
+
+        Stage 1 of the columnar lowering (:mod:`repro.pattern.kernels`):
+        entry ``j - 1`` is a symbolic :class:`~repro.pattern.kernels.
+        ElementKernel` or None where the element must stay on the
+        per-row evaluator (residuals, opaque conditions).  With
+        ``use_codegen=False`` — the interpreted differential oracle —
+        nothing lowers, keeping the oracle path entirely kernel-free.
+        """
+        from repro.pattern.codegen import lower_predicate_batch
+        from repro.pattern.kernels import KernelPlan
+
+        if not self.use_codegen:
+            return KernelPlan(elements=(None,) * self.m)
+        return KernelPlan(
+            elements=tuple(lower_predicate_batch(e.predicate) for e in self.spec)
+        )
+
     @property
     def has_star(self) -> bool:
         return self.spec.has_star

@@ -130,6 +130,7 @@ class QueryServer:
         domains: Optional[AttributeDomains] = None,
         matcher: str = "ops",
         policy: str = "raise",
+        evaluator: str = "auto",
         quotas: Optional[Mapping[str, TenantQuota]] = None,
         default_quota: Optional[TenantQuota] = None,
         pool_workers: int = 4,
@@ -167,6 +168,7 @@ class QueryServer:
             policy=policy,
             parallel_mode=parallel_mode,
             metrics=self.metrics,
+            evaluator=evaluator,
         )
         self._query_workers = query_workers
         self._admission = AdmissionController(

@@ -3,18 +3,26 @@
 Hypothesis builds random (but well-formed) queries over the quote schema
 — random pattern arity, star flags, and per-element conditions drawn from
 the paper's condition shapes — renders them to SQL text, and runs them
-through parse → analyze → compile → execute under both matchers.
+through parse → analyze → compile → execute under both matchers.  The
+same generators also drive the columnar-vs-row differential legs: full
+agreement unlimited, under match caps, and (via the CLI) under
+mid-query wall-clock deadlines where both paths must take the same
+partial-results exit code.
 """
 
 import datetime as dt
+import io
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine.catalog import Catalog
+from repro.engine.csv_io import save_csv
 from repro.engine.executor import Executor
 from repro.engine.table import Table
+from repro.match.base import Instrumentation
 from repro.pattern.predicates import AttributeDomains
+from repro.resilience import ResourceLimits
 
 DOMAINS = AttributeDomains.prices()
 VARS = "ABCDEFG"
@@ -120,6 +128,108 @@ def test_residual_on_leading_star_binding_regression():
     naive = Executor(catalog, domains=DOMAINS, matcher="naive").execute(sql)
     assert ops == naive
     assert ops.rows == ((dt.date(2000, 1, 5),),)
+
+
+@settings(max_examples=80, deadline=None)
+@given(queries(), price_tables())
+def test_generated_queries_columnar_matches_row(sql, catalog):
+    """The vectorized path is a pure optimization: same Result, always."""
+    row = Executor(catalog, domains=DOMAINS, evaluator="row").execute(sql)
+    columnar = Executor(catalog, domains=DOMAINS, evaluator="columnar").execute(sql)
+    assert columnar == row
+
+
+@settings(max_examples=40, deadline=None)
+@given(queries(), price_tables(), st.integers(1, 3))
+def test_columnar_respects_match_caps_like_row(sql, catalog, cap):
+    """Under a max_matches cap both paths stop at the same point: same
+    kept rows, same counted work, same limits_hit diagnostics."""
+    reports = {}
+    for evaluator in ("row", "columnar"):
+        executor = Executor(
+            catalog,
+            domains=DOMAINS,
+            evaluator=evaluator,
+            limits=ResourceLimits(max_matches=cap),
+        )
+        result, report = executor.execute_with_report(sql, Instrumentation())
+        reports[evaluator] = (
+            result,
+            report.matches,
+            report.predicate_tests,
+            tuple(report.diagnostics.limits_hit),
+        )
+    assert reports["columnar"] == reports["row"]
+
+
+def _oscillating_csv(tmp_path, rows=2500):
+    table = Table("quote", [("name", "str"), ("date", "date"), ("price", "float")])
+    base = dt.date(2000, 1, 3)
+    for offset in range(rows):
+        table.insert(
+            {
+                "name": "AAA",
+                "date": base + dt.timedelta(days=offset),
+                "price": 50.0 + (1.0 if offset % 2 else -1.0),
+            }
+        )
+    path = str(tmp_path / "quote.csv")
+    save_csv(table, path)
+    return f"quote={path}:name:str,date:date,price:float"
+
+
+def test_mid_query_deadline_exit_code_parity(tmp_path):
+    """An already-expired deadline yields partial results and exit code 3
+    on both evaluator paths — the columnar path must honour the same
+    cooperative cancellation points."""
+    from repro.cli import EXIT_LIMIT_HIT, main
+
+    spec = _oscillating_csv(tmp_path)
+    sql = (
+        "SELECT A.date FROM quote CLUSTER BY name SEQUENCE BY date "
+        "AS (*A, *B) WHERE A.price < A.previous.price "
+        "AND B.price > B.previous.price"
+    )
+    for evaluator in ("row", "columnar"):
+        code = main(
+            [
+                "query",
+                sql,
+                "--table",
+                spec,
+                "--matcher",
+                "naive",
+                "--timeout",
+                "1e-9",
+                "--evaluator",
+                evaluator,
+            ],
+            out=io.StringIO(),
+        )
+        assert code == EXIT_LIMIT_HIT, evaluator
+
+
+def test_match_cap_exit_code_and_output_parity(tmp_path):
+    """A deterministic cap: both evaluator paths print identical partial
+    results and exit with code 3."""
+    from repro.cli import EXIT_LIMIT_HIT, main
+
+    spec = _oscillating_csv(tmp_path, rows=60)
+    sql = (
+        "SELECT A.date FROM quote CLUSTER BY name SEQUENCE BY date "
+        "AS (A, B) WHERE A.price < A.previous.price AND B.price > 40"
+    )
+    outputs = {}
+    for evaluator in ("row", "columnar"):
+        out = io.StringIO()
+        code = main(
+            ["query", sql, "--table", spec, "--max-matches", "2",
+             "--evaluator", evaluator],
+            out=out,
+        )
+        assert code == EXIT_LIMIT_HIT, evaluator
+        outputs[evaluator] = out.getvalue()
+    assert outputs["columnar"] == outputs["row"]
 
 
 @settings(max_examples=100, deadline=None)
